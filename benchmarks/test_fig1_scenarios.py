@@ -1,0 +1,73 @@
+"""Figure 1: scheduler comparison across three scenarios.
+
+* Homogeneous + adaptive jobs: Pollux and Sia beat Gavel.
+* Heterogeneous + adaptive jobs: Sia beats both state-of-the-arts.
+* Heterogeneous + rigid jobs: Gavel and Sia beat Pollux; Sia still edges
+  out Gavel ~25% (Section 5.4: max-sum-goodput vs max-sum-throughput).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit, run_once_benchmarked
+
+from repro.analysis import format_table, run_once, sample_trace
+from repro.cluster import presets
+from repro.metrics import summarize
+from repro.schedulers import GavelScheduler, PolluxScheduler, SiaScheduler
+from repro.workloads import tuned_jobs
+
+
+def run_scenarios():
+    scale = bench_scale()
+    trace = sample_trace("philly", seed=0, scale=scale)
+    homo, hetero = presets.homogeneous(), presets.heterogeneous()
+    rigid_hetero = tuned_jobs(trace.jobs, hetero, seed=0)
+
+    def jct(cluster, scheduler, jobs):
+        return summarize(run_once(cluster, scheduler, jobs,
+                                  scale=scale)).avg_jct_hours
+
+    results: dict[str, dict[str, float]] = {}
+    results["homogeneous+adaptive"] = {
+        "sia": jct(homo, SiaScheduler(), trace.jobs),
+        "pollux": jct(homo, PolluxScheduler(), trace.jobs),
+        "gavel": jct(homo, GavelScheduler(),
+                     tuned_jobs(trace.jobs, homo, seed=0)),
+    }
+    results["heterogeneous+adaptive"] = {
+        "sia": jct(hetero, SiaScheduler(), trace.jobs),
+        "pollux": jct(hetero, PolluxScheduler(), trace.jobs),
+        "gavel": jct(hetero, GavelScheduler(), rigid_hetero),
+    }
+    results["heterogeneous+rigid"] = {
+        "sia": jct(hetero, SiaScheduler(), rigid_hetero),
+        "pollux": jct(hetero, PolluxScheduler(), rigid_hetero),
+        "gavel": jct(hetero, GavelScheduler(), rigid_hetero),
+    }
+    return results
+
+
+def test_fig1_three_scenarios(benchmark):
+    results = run_once_benchmarked(benchmark, run_scenarios)
+    rows = [dict(scenario=name,
+                 **{k: round(v, 3) for k, v in values.items()})
+            for name, values in results.items()]
+    emit("fig1_scenarios",
+         format_table(rows, title="Figure 1: avg JCT (hours) per scenario"))
+
+    homo = results["homogeneous+adaptive"]
+    hetero = results["heterogeneous+adaptive"]
+    rigid = results["heterogeneous+rigid"]
+
+    # Left trio: adaptive schedulers beat Gavel on a homogeneous cluster.
+    assert homo["sia"] < homo["gavel"]
+    assert homo["pollux"] < homo["gavel"]
+    # Middle trio: Sia beats both when both complexities are present.
+    assert hetero["sia"] < hetero["pollux"]
+    assert hetero["sia"] < hetero["gavel"]
+    # Right trio: with rigid jobs Sia still beats Gavel (goodput objective),
+    # and Gavel beats Pollux (heterogeneity-aware vs blind).
+    assert rigid["sia"] < rigid["gavel"]
+    assert rigid["gavel"] < rigid["pollux"]
+    # The heterogeneous cluster has faster GPUs: JCTs drop vs homogeneous.
+    assert hetero["sia"] < homo["sia"]

@@ -1,0 +1,79 @@
+"""Figure 2: goodput scaling with GPU count per (model, GPU type).
+
+The paper plots goodput relative to single-T4 goodput for ResNet18, BERT
+and DeepSpeech2 on A100/RTX/T4, 1-24 GPUs.  Shapes to reproduce: BERT on
+A100 towers over everything (~8x at one GPU, super-linear in relative
+terms as memory admits bigger batches); DeepSpeech2's RTX curve sits close
+to A100; all curves grow with GPU count.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once_benchmarked
+
+from repro.analysis import format_table
+from repro.perf import profiles
+
+MODELS = ("resnet18", "bert", "deepspeech2")
+GPU_TYPES = ("a100", "rtx", "t4")
+GPU_COUNTS = (1, 2, 4, 8, 16, 24)
+
+
+def goodput(model: str, gpu_type: str, num_gpus: int) -> float:
+    profile = profiles.model_profile(model)
+    cap = profiles.max_local_bsz(model, gpu_type)
+    if cap < 1:
+        return 0.0
+    gpus_per_node = 8 if gpu_type in ("a100", "rtx") else 4
+    nodes = max(1, -(-num_gpus // gpus_per_node))
+    return profiles.true_goodput_model(model, gpu_type).goodput(
+        num_gpus, nodes, max_local_bsz=cap,
+        max_total_bsz=profile.max_bsz, min_total_bsz=profile.min_bsz)
+
+
+def compute_curves() -> dict[str, dict[str, list[float]]]:
+    curves: dict[str, dict[str, list[float]]] = {}
+    for model in MODELS:
+        base = goodput(model, "t4", 1)
+        curves[model] = {
+            gpu_type: [goodput(model, gpu_type, k) / base
+                       for k in GPU_COUNTS]
+            for gpu_type in GPU_TYPES
+        }
+    return curves
+
+
+def test_fig2_goodput_scaling(benchmark):
+    curves = run_once_benchmarked(benchmark, compute_curves)
+
+    rows = []
+    for model in MODELS:
+        for gpu_type in GPU_TYPES:
+            row = {"model": model, "gpu": gpu_type}
+            for k, value in zip(GPU_COUNTS, curves[model][gpu_type]):
+                row[f"{k}gpu"] = round(value, 1)
+            rows.append(row)
+    emit("fig2_goodput_scaling",
+         format_table(rows, title="Figure 2: goodput relative to 1x T4"))
+
+    # Shape assertions -----------------------------------------------------
+    for model in MODELS:
+        for gpu_type in GPU_TYPES:
+            series = curves[model][gpu_type]
+            # goodput grows with GPU count everywhere
+            assert all(b >= a * 0.99 for a, b in zip(series, series[1:])), \
+                (model, gpu_type)
+    # BERT on A100 dominates every other curve at 16+ GPUs (paper: ~60x T4).
+    bert_a100_16 = curves["bert"]["a100"][GPU_COUNTS.index(16)]
+    assert bert_a100_16 > 20
+    for gpu_type in ("rtx", "t4"):
+        assert bert_a100_16 > 2.5 * curves["bert"][gpu_type][-1]
+    # DeepSpeech2: within a node (up to 8 GPUs), rtx is a near-substitute
+    # for a100; beyond one node its 50 Gb/s Ethernet falls behind.
+    ds2 = curves["deepspeech2"]
+    idx8 = GPU_COUNTS.index(8)
+    assert ds2["rtx"][idx8] > 0.5 * ds2["a100"][idx8]
+    assert ds2["rtx"][-1] / ds2["a100"][-1] < \
+        ds2["rtx"][idx8] / ds2["a100"][idx8]
+    # ResNet18 gains less from a100 than BERT does (small model).
+    assert curves["resnet18"]["a100"][0] < curves["bert"]["a100"][0]

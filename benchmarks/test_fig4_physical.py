@@ -1,0 +1,103 @@
+"""Figure 4 (and Figure 5's timeline): the physical-testbed experiment.
+
+The paper runs a 3-hour, 30-job trace on the 44-GPU physical cluster
+(3x rtx + 1x quad + 2x a100) and compares against the simulator's
+prediction.  We emulate the physical cluster as the same simulation with
+hardware-variability noise (fixed per-(job, GPU-type) speed bias) and
+measurement jitter.
+
+Shapes: Sia < Pollux < Gavel on the "physical" cluster (paper: 35-50%
+lower); Sia's simulated-vs-real average JCT error stays small (paper: <5%
+for Sia/Gavel), while Pollux degrades more on real hardware than the clean
+simulation predicts.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit, run_once_benchmarked
+
+from repro.analysis import format_table, run_once
+from repro.cluster import presets
+from repro.metrics import summarize
+from repro.schedulers import GavelScheduler, PolluxScheduler, SiaScheduler
+from repro.workloads import philly_trace, tuned_jobs
+
+#: "real hardware" noise: per-(job, type) speed variance + measurement jitter.
+RATE_NOISE = 0.12
+OBS_NOISE = 0.05
+
+
+def run_physical():
+    scale = bench_scale()
+    cluster = presets.physical()
+    trace = philly_trace(seed=0, num_jobs=30,
+                         work_scale_factor=scale.work,
+                         window_hours=3.0 * scale.window / 0.1)
+    rigid = tuned_jobs(trace.jobs, cluster, seed=0)
+    out = {}
+    for name, scheduler, jobs in [("sia", SiaScheduler(), trace.jobs),
+                                  ("pollux", PolluxScheduler(), trace.jobs),
+                                  ("gavel", GavelScheduler(), rigid)]:
+        simulated = run_once(cluster, scheduler, jobs, scale=scale)
+        real = run_once(cluster, type(scheduler)(), jobs, scale=scale,
+                        rate_noise=RATE_NOISE, obs_noise=OBS_NOISE, seed=1)
+        out[name] = (summarize(simulated), summarize(real), real)
+    return out
+
+
+def test_fig4_physical_testbed(benchmark):
+    results = run_once_benchmarked(benchmark, run_physical)
+    rows = []
+    for name, (simulated, real, _) in results.items():
+        rows.append({
+            "scheduler": name,
+            "sim_avg_jct_h": round(simulated.avg_jct_hours, 3),
+            "real_avg_jct_h": round(real.avg_jct_hours, 3),
+            "gap_pct": round(100 * abs(real.avg_jct_hours -
+                                       simulated.avg_jct_hours)
+                             / simulated.avg_jct_hours, 1),
+        })
+    emit("fig4_physical",
+         format_table(rows, title="Figure 4: physical (noisy) vs simulated "
+                                  "avg JCT, 44-GPU testbed"))
+
+    real_jcts = {name: real.avg_jct_hours
+                 for name, (_, real, _) in results.items()}
+    # Sia wins on the physical cluster.
+    assert real_jcts["sia"] < real_jcts["pollux"]
+    assert real_jcts["sia"] < real_jcts["gavel"]
+    # Simulator fidelity for Sia: small sim-vs-real gap (paper: <5%; we
+    # allow more at reduced scale).
+    sia_sim, sia_real, _ = results["sia"]
+    gap = abs(sia_real.avg_jct_hours - sia_sim.avg_jct_hours) \
+        / sia_sim.avg_jct_hours
+    assert gap < 0.35
+
+
+def test_fig5_allocation_timeline(benchmark):
+    """Figure 5: Sia dynamically adjusts GPU type and count over a job's
+    life.  We verify at least one long job changes its allocation and that
+    the timeline renders."""
+    def run():
+        scale = bench_scale()
+        cluster = presets.physical()
+        trace = philly_trace(seed=0, num_jobs=30,
+                             work_scale_factor=scale.work,
+                             window_hours=1.0)
+        return trace, run_once(cluster, SiaScheduler(), trace.jobs,
+                               scale=scale)
+
+    trace, result = run_once_benchmarked(benchmark, run)
+    changed = 0
+    lines = []
+    for job in trace.jobs:
+        timeline = result.allocation_timeline(job.job_id)
+        held = [(t, gpu, n) for t, gpu, n in timeline if n > 0]
+        if len({(gpu, n) for _, gpu, n in held}) > 1:
+            changed += 1
+        if held and len(lines) < 3:
+            spans = ", ".join(f"{t/3600:.2f}h:{n}x{gpu}"
+                              for t, gpu, n in held[:8])
+            lines.append(f"{job.job_id} ({job.model_name}): {spans}")
+    emit("fig5_timeline", "\n".join(lines))
+    assert changed >= 3, "expected several jobs to be re-sized/migrated"

@@ -1,0 +1,58 @@
+"""Figure 6: GPU hours consumed per model, per scheduler (Helios traces,
+heterogeneous setting) — how well jobs are matched to GPU types.
+
+Shapes: Sia allocates BERT almost exclusively to a100; Sia routes
+DeepSpeech2 mostly away from a100 (to rtx), freeing a100 for BERT; Pollux,
+being heterogeneity-unaware, spreads models across types with no strong
+preference.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit, run_once_benchmarked
+
+from repro.analysis import compare_on_trace, format_table, sample_trace
+from repro.cluster import presets
+from repro.metrics import gpu_hours_by_model
+
+
+def run_fig6():
+    scale = bench_scale()
+    cluster = presets.heterogeneous()
+    trace = sample_trace("helios", seed=1, scale=scale)
+    outcome = compare_on_trace(cluster, trace, scale=scale)
+    return {name: gpu_hours_by_model(result)
+            for name, result in outcome.results.items()}
+
+
+def _share(by_model: dict, model: str, gpu_type: str) -> float:
+    hours = by_model.get(model, {})
+    total = sum(hours.values())
+    if total == 0:
+        return 0.0
+    return hours.get(gpu_type, 0.0) / total
+
+
+def test_fig6_job_gpu_matching(benchmark):
+    per_scheduler = run_once_benchmarked(benchmark, run_fig6)
+
+    rows = []
+    for scheduler, by_model in per_scheduler.items():
+        for model, hours in sorted(by_model.items()):
+            row = {"scheduler": scheduler, "model": model}
+            for gpu_type in ("t4", "rtx", "a100"):
+                row[gpu_type] = round(hours.get(gpu_type, 0.0), 2)
+            rows.append(row)
+    emit("fig6_gpu_hours_by_model",
+         format_table(rows, title="Figure 6: avg GPU-hours per job by "
+                                  "model and GPU type"))
+
+    sia = per_scheduler["sia"]
+    pollux = per_scheduler["pollux"]
+    # Sia sends BERT predominantly to a100 (paper: almost exclusively).
+    assert _share(sia, "bert", "a100") > 0.6
+    # Sia gives DeepSpeech2 less a100 share than BERT gets.
+    if "deepspeech2" in sia:
+        assert _share(sia, "deepspeech2", "a100") < _share(sia, "bert", "a100")
+    # Pollux shows a weaker BERT->a100 preference than Sia.
+    assert _share(pollux, "bert", "a100") < _share(sia, "bert", "a100")

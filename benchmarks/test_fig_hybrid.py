@@ -1,0 +1,79 @@
+"""Section 5.3 figure: adapting hybrid-parallel (PMP x DP) jobs.
+
+(Left) the 2.8B GPT model's throughput scales (nearly) linearly with GPU
+count — computation dominates communication for this model.
+
+(Right) Sia elastically scales the GPT job in response to congestion:
+scaling down when a burst of jobs arrives and back up when it clears —
+the first cluster scheduler to do this for hybrid-parallel jobs.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once_benchmarked
+
+from repro.analysis import format_series, format_table, run_once
+from repro.analysis.experiments import ExperimentScale
+from repro.cluster import presets
+from repro.jobs.hybrid import HybridPerfModel, HybridSpec
+from repro.jobs.job import make_job
+from repro.schedulers import SiaScheduler
+
+SCALE = ExperimentScale(max_hours=100.0)
+
+
+def throughput_curve():
+    spec = HybridSpec()
+    perf = HybridPerfModel("gpt-2.8b", spec)
+    points = []
+    for replicas in (1, 2, 4, 8, 16):
+        gpus = replicas * spec.stages_per_type["rtx"]
+        nodes = max(1, gpus // 8)
+        points.append((gpus, perf.throughput("rtx", replicas, nodes)))
+    return points
+
+
+def adaptation_scenario():
+    cluster = presets.heterogeneous()
+    gpt = make_job("gpt", "gpt-2.8b", 0.0, hybrid=HybridSpec(),
+                   max_gpus=16, work_scale=0.05)
+    burst = [make_job(f"b{i}", "bert", 1800.0, work_scale=0.3)
+             for i in range(16)]
+    result = run_once(cluster, SiaScheduler(), [gpt, *burst], scale=SCALE)
+    return result
+
+
+def test_hybrid_throughput_scaling(benchmark):
+    points = run_once_benchmarked(benchmark, throughput_curve)
+    emit("fig_hybrid_scaling",
+         format_series(points, x_label="gpus", y_label="samples/s",
+                       title="Hybrid GPT on rtx: throughput vs GPUs"))
+    gpus = [g for g, _ in points]
+    xputs = [x for _, x in points]
+    # Near-linear scaling: 16x the GPUs gives at least 13x the throughput.
+    assert xputs[-1] / xputs[0] > 0.8 * (gpus[-1] / gpus[0])
+    # ... and never super-linear.
+    assert xputs[-1] / xputs[0] <= gpus[-1] / gpus[0]
+
+
+def test_hybrid_elastic_adaptation(benchmark):
+    result = run_once_benchmarked(benchmark, adaptation_scenario)
+    timeline = result.allocation_timeline("gpt")
+    rows = [{"t_hours": round(t / 3600.0, 2), "gpu_type": gpu or "-",
+             "gpus": n}
+            for t, gpu, n in timeline[::5]]
+    emit("fig_hybrid_adaptation",
+         format_table(rows, title="Sia adaptation of the GPT job over time"))
+
+    counts = [n for _, _, n in timeline if n > 0]
+    types = {gpu for _, gpu, n in timeline if n > 0}
+    assert result.job("gpt").completed
+    # GPU counts are always whole pipeline replicas of the type in use.
+    spec = HybridSpec()
+    for _, gpu, n in timeline:
+        if n > 0:
+            assert n % spec.stages_per_type[gpu] == 0
+    # Elastic scaling happened: the allocation changed over the job's life.
+    assert max(counts) > min(counts)
+    # Only the profiled GPU types were ever used.
+    assert types <= {"a100", "rtx"}

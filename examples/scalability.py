@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Policy-runtime scalability (Figure 9): how long does one scheduling
+decision take as the cluster grows from 64 to 1024 GPUs?
+
+Sia's ILP over the restricted configuration set stays sub-second; Pollux's
+genetic algorithm grows much faster; Gavel's LP is fastest (it ignores
+adaptivity entirely).
+
+Run:  python examples/scalability.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table
+from repro.cluster import presets
+from repro.core.types import AdaptivityMode, ProfilingMode
+from repro.jobs import make_job
+from repro.schedulers import GavelScheduler, PolluxScheduler, SiaScheduler
+from repro.schedulers.base import JobView
+from repro.workloads import helios_trace
+
+
+def views_for(scheduler, cluster, num_jobs: int, rigid: bool):
+    trace = helios_trace(seed=4, num_jobs=num_jobs)
+    views = []
+    for job in trace.jobs:
+        if rigid:
+            job = make_job(job.job_id, job.model_name, job.submit_time,
+                           adaptivity=AdaptivityMode.RIGID, fixed_num_gpus=2,
+                           fixed_batch_size=job.profile.min_bsz)
+        estimator = scheduler.make_estimator(job, cluster,
+                                             ProfilingMode.BOOTSTRAP)
+        estimator.profile_initial()
+        views.append(JobView(job=job, estimator=estimator,
+                             current_config=None, age=0.0,
+                             num_restarts=0, progress=0.0))
+    return views
+
+
+def main() -> None:
+    rows = []
+    for size in (64, 128, 256, 512, 1024):
+        cluster = presets.scaled_heterogeneous(size)
+        num_jobs = 12 * (size // 64)
+        row = {"gpus": size, "jobs": num_jobs}
+        for name, scheduler, rigid in [("sia", SiaScheduler(), False),
+                                       ("pollux", PolluxScheduler(), False),
+                                       ("gavel", GavelScheduler(), True)]:
+            views = views_for(scheduler, cluster, num_jobs, rigid)
+            start = time.perf_counter()
+            scheduler.decide(views, cluster, {}, 0.0)
+            row[f"{name}_s"] = round(time.perf_counter() - start, 4)
+        rows.append(row)
+        print(f"done {size} GPUs")
+    print()
+    print(format_table(rows, title="Figure 9: one scheduling decision, "
+                                   "seconds"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Compare Sia against the paper's baselines on one heterogeneous trace.
+
+Reproduces a mini Table 3: Sia and Pollux run the adaptive trace; Gavel,
+Shockwave and Themis run its TunedJobs conversion (the rigid schedulers
+cannot auto-tune — Section 4.3).  Prints the comparison table and each
+scheduler's job-to-GPU-type matching for BERT (the Figure 6 effect).
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.cluster import presets
+from repro.metrics import gpu_hours_by_model, summarize
+from repro.schedulers import (GavelScheduler, PolluxScheduler,
+                              ShockwaveScheduler, SiaScheduler,
+                              ThemisScheduler)
+from repro.sim import simulate
+from repro.workloads import helios_trace, tuned_jobs
+
+
+def main() -> None:
+    cluster = presets.heterogeneous()
+    trace = helios_trace(seed=1, num_jobs=48, work_scale_factor=0.2,
+                         window_hours=0.8)
+    rigid = tuned_jobs(trace.jobs, cluster, seed=1)
+
+    runs = [
+        ("sia", SiaScheduler(), trace.jobs),
+        ("pollux", PolluxScheduler(), trace.jobs),
+        ("gavel+TJ", GavelScheduler(), rigid),
+        ("shockwave+TJ", ShockwaveScheduler(), rigid),
+        ("themis+TJ", ThemisScheduler(), rigid),
+    ]
+
+    rows = []
+    matching_rows = []
+    for name, scheduler, jobs in runs:
+        print(f"simulating {name} ...")
+        result = simulate(cluster, scheduler, jobs, max_hours=150)
+        row = summarize(result).as_row()
+        row["scheduler"] = name
+        rows.append(row)
+
+        by_model = gpu_hours_by_model(result)
+        bert = by_model.get("bert", {})
+        total = sum(bert.values()) or 1.0
+        matching_rows.append({
+            "scheduler": name,
+            "bert_on_a100_pct": round(100 * bert.get("a100", 0.0) / total, 1),
+            "bert_on_rtx_pct": round(100 * bert.get("rtx", 0.0) / total, 1),
+            "bert_on_t4_pct": round(100 * bert.get("t4", 0.0) / total, 1),
+        })
+
+    print()
+    print(format_table(rows, title="Mini Table 3 — heterogeneous 64-GPU "
+                                   "cluster, Helios-like trace"))
+    print()
+    print(format_table(matching_rows,
+                       title="Figure 6 effect — where BERT jobs ran"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Experiment drivers and result rendering for the benchmark harness."""
+
+from repro.analysis.experiments import (BENCH_SCALE, FULL_SCALE,
+                                        ComparisonResult, ExperimentScale,
+                                        adaptive_scheduler_set,
+                                        compare_on_trace,
+                                        rigid_scheduler_set, run_once,
+                                        sample_trace)
+from repro.analysis.render import (format_bars, format_series,
+                                   format_table, improvement)
+from repro.analysis.report import build_report
+
+__all__ = [
+    "BENCH_SCALE", "FULL_SCALE", "ComparisonResult", "ExperimentScale",
+    "adaptive_scheduler_set", "compare_on_trace", "rigid_scheduler_set",
+    "run_once", "sample_trace",
+    "format_bars", "format_series", "format_table", "improvement",
+    "build_report",
+]

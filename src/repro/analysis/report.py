@@ -1,0 +1,112 @@
+"""Markdown report generation from simulation results.
+
+Turns one or more :class:`~repro.sim.telemetry.SimulationResult` objects
+(live, or loaded from JSON via :mod:`repro.io`) into a self-contained
+markdown report: the Table 3/4-style comparison, per-model GPU-hours
+(Figure 6 view), JCT distribution, utilization, and — when the jobs are
+available — finish-time fairness.  The CLI exposes this as
+``python -m repro report result1.json result2.json``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.render import format_bars
+from repro.cluster.cluster import Cluster
+from repro.jobs.job import Job
+from repro.metrics.fairness import fairness_metrics
+from repro.metrics.jct import gpu_hours_by_model, percentile, summarize
+from repro.metrics.utilization import average_utilization
+from repro.sim.telemetry import SimulationResult
+
+
+def _markdown_table(rows: list[dict]) -> str:
+    if not rows:
+        return "(no data)\n"
+    columns = list(rows[0])
+    lines = ["| " + " | ".join(columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(c, "")) for c in columns)
+                     + " |")
+    return "\n".join(lines) + "\n"
+
+
+def comparison_section(results: list[SimulationResult]) -> str:
+    rows = [summarize(result).as_row() for result in results]
+    return "## Scheduler comparison\n\n" + _markdown_table(rows)
+
+
+def jct_section(result: SimulationResult) -> str:
+    jcts = result.jcts_hours()
+    stats = [
+        ("p50", percentile(jcts, 50)),
+        ("p90", percentile(jcts, 90)),
+        ("p99", percentile(jcts, 99)),
+        ("max", max(jcts)),
+    ]
+    chart = format_bars([(name, value) for name, value in stats],
+                        title=f"JCT distribution, hours "
+                              f"({result.scheduler_name})")
+    return f"```\n{chart}\n```\n"
+
+
+def gpu_hours_section(result: SimulationResult) -> str:
+    by_model = gpu_hours_by_model(result)
+    rows = []
+    for model, hours in sorted(by_model.items()):
+        row = {"model": model}
+        for gpu_type, value in sorted(hours.items()):
+            row[gpu_type] = round(value, 2)
+        rows.append(row)
+    # column set can differ per model; normalize
+    columns = {"model"}
+    for row in rows:
+        columns |= set(row)
+    ordered = ["model"] + sorted(columns - {"model"})
+    rows = [{c: row.get(c, 0.0) for c in ordered} for row in rows]
+    return (f"### GPU-hours per job by model ({result.scheduler_name})\n\n"
+            + _markdown_table(rows))
+
+
+def fairness_section(result: SimulationResult, jobs: list[Job],
+                     cluster: Cluster) -> str:
+    metrics = fairness_metrics(result, jobs, cluster)
+    rows = [{
+        "scheduler": result.scheduler_name,
+        "worst_ftf": round(metrics.worst_ftf, 2),
+        "unfair_fraction": round(metrics.unfair_fraction, 3),
+    }]
+    return "### Finish-time fairness\n\n" + _markdown_table(rows)
+
+
+def build_report(results: list[SimulationResult], *,
+                 title: str = "Simulation report",
+                 jobs: list[Job] | None = None,
+                 cluster: Cluster | None = None) -> str:
+    """Assemble the full markdown report.
+
+    ``jobs``/``cluster`` are optional: fairness needs the original job
+    objects and cluster, which saved results do not carry.
+    """
+    if not results:
+        raise ValueError("need at least one result")
+    parts = [f"# {title}\n",
+             f"Cluster: {results[0].cluster_description}\n",
+             comparison_section(results)]
+    for result in results:
+        parts.append(f"\n## {result.scheduler_name}\n")
+        parts.append(jct_section(result))
+        parts.append(gpu_hours_section(result))
+        if cluster is not None:
+            utilization = average_utilization(result, cluster)
+            parts.append(f"Average GPU occupancy: "
+                         f"{100 * utilization:.1f}%\n")
+        if jobs is not None and cluster is not None:
+            parts.append(fairness_section(result, jobs, cluster))
+        if result.censored:
+            parts.append(f"**Warning:** {result.censored} job(s) did not "
+                         "finish before the simulation cap.\n")
+        if result.node_failures:
+            parts.append(f"Worker failures injected: "
+                         f"{result.node_failures}\n")
+    return "\n".join(parts)

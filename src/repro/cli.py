@@ -1,0 +1,239 @@
+"""Command-line interface: run reproduction experiments without writing code.
+
+Subcommands::
+
+    python -m repro catalog                    # model zoo + GPU catalog
+    python -m repro trace --name helios --seed 0 --out trace.json
+    python -m repro run --scheduler sia --cluster heterogeneous \\
+                        --trace-name philly --num-jobs 40 --work-scale 0.2
+    python -m repro compare --trace-name helios --num-jobs 48 \\
+                            --schedulers sia,pollux,gavel
+    python -m repro report results/*.json --out report.md
+
+``run`` and ``compare`` accept either a saved trace file (``--trace``) or
+generator parameters (``--trace-name``/``--seed``/...).  Results can be
+saved with ``--out`` and reloaded with :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import io
+from repro.analysis.render import format_table
+from repro.cluster import presets
+from repro.cluster.gpu import GPU_CATALOG
+from repro.core.policy import SiaPolicyParams
+from repro.core.types import ProfilingMode
+from repro.metrics.jct import summarize
+from repro.perf.profiles import MODEL_ZOO
+from repro.schedulers import (FIFOScheduler, GavelScheduler, PolluxScheduler,
+                              ShockwaveScheduler, SiaScheduler,
+                              SRTFScheduler, ThemisScheduler)
+from repro.schedulers.base import Scheduler
+from repro.sim.engine import Simulator, SimulatorConfig
+from repro.workloads.generators import SPECS, trace_by_name
+from repro.workloads.trace import Trace
+from repro.workloads.tuning import tuned_jobs
+
+#: schedulers that auto-tune jobs (run the raw adaptive trace).
+ADAPTIVE_SCHEDULERS = ("sia", "pollux")
+#: schedulers that need TunedJobs (fixed batch size and GPU count).
+RIGID_SCHEDULERS = ("gavel", "shockwave", "themis", "fifo", "srtf")
+
+
+def build_scheduler(name: str, args: argparse.Namespace) -> Scheduler:
+    if name == "sia":
+        params = SiaPolicyParams(p=args.p, allocation_incentive=args.lam,
+                                 solver=args.solver)
+        return SiaScheduler(params, round_duration=args.round_duration)
+    if name == "pollux":
+        return PolluxScheduler(round_duration=args.round_duration)
+    if name == "gavel":
+        return GavelScheduler(policy=args.gavel_policy)
+    if name == "shockwave":
+        return ShockwaveScheduler()
+    if name == "themis":
+        return ThemisScheduler()
+    if name == "fifo":
+        return FIFOScheduler()
+    if name == "srtf":
+        return SRTFScheduler()
+    known = ", ".join(ADAPTIVE_SCHEDULERS + RIGID_SCHEDULERS)
+    raise SystemExit(f"unknown scheduler {name!r}; choose from: {known}")
+
+
+def resolve_trace(args: argparse.Namespace) -> Trace:
+    if args.trace:
+        return io.load_trace(args.trace)
+    kwargs = {}
+    if args.num_jobs is not None:
+        kwargs["num_jobs"] = args.num_jobs
+    if args.window_hours is not None:
+        kwargs["window_hours"] = args.window_hours
+    return trace_by_name(args.trace_name, seed=args.seed,
+                         work_scale_factor=args.work_scale, **kwargs)
+
+
+def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace):
+    cluster = presets.by_name(args.cluster)
+    scheduler = build_scheduler(scheduler_name, args)
+    jobs = trace.jobs
+    if scheduler_name in RIGID_SCHEDULERS:
+        jobs = tuned_jobs(jobs, cluster, seed=trace.seed)
+    config = SimulatorConfig(
+        profiling_mode=ProfilingMode(args.profiling_mode),
+        seed=args.seed, max_hours=args.max_hours,
+        node_failure_rate=args.failure_rate)
+    return Simulator(cluster, scheduler, jobs, config).run()
+
+
+# -- subcommands ---------------------------------------------------------------
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    rows = [{
+        "model": p.name, "category": p.category, "task": p.task,
+        "dataset": p.dataset, "batch_range": f"[{p.min_bsz}, {p.max_bsz}]",
+        "optimizer": p.optimizer, "restart_s": p.restart_delay_s,
+    } for p in MODEL_ZOO.values()]
+    print(format_table(rows, title="Model zoo (Table 2)"))
+    print()
+    gpu_rows = [{
+        "gpu": s.name, "memory_gb": s.memory_gb,
+        "compute_scale": s.compute_scale,
+        "intra_gbps": s.intra_node_bw_gbps,
+        "inter_gbps": s.inter_node_bw_gbps,
+    } for s in GPU_CATALOG.values()]
+    print(format_table(gpu_rows, title="GPU catalog (Section 4.2)"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = resolve_trace(args)
+    print(f"trace {trace.name}: {trace.num_jobs} jobs, "
+          f"models: {trace.models_used()}")
+    if args.out:
+        io.save_trace(trace, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    trace = resolve_trace(args)
+    result = _simulate(args.scheduler, args, trace)
+    print(format_table([summarize(result).as_row()],
+                       title=f"{args.scheduler} on {trace.name} "
+                             f"({args.cluster})"))
+    if args.out:
+        io.save_result(result, args.out)
+        print(f"saved result to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+    results = [io.load_result(path) for path in args.results]
+    text = build_report(results, title=args.title)
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(text)
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = resolve_trace(args)
+    names = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    rows = []
+    for name in names:
+        print(f"simulating {name} ...", file=sys.stderr)
+        result = _simulate(name, args, trace)
+        rows.append(summarize(result).as_row())
+    print(format_table(rows, title=f"Comparison on {trace.name} "
+                                   f"({args.cluster})"))
+    return 0
+
+
+# -- parser ----------------------------------------------------------------------
+
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", help="path to a saved trace JSON")
+    parser.add_argument("--trace-name", default="philly",
+                        choices=sorted(SPECS),
+                        help="workload family to sample (default: philly)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--num-jobs", type=int, default=None)
+    parser.add_argument("--work-scale", type=float, default=1.0,
+                        help="job-length multiplier (benches use ~0.2)")
+    parser.add_argument("--window-hours", type=float, default=None)
+
+
+def _add_sim_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cluster", default="heterogeneous",
+                        choices=sorted(presets.PRESETS))
+    parser.add_argument("--profiling-mode", default="bootstrap",
+                        choices=[m.value for m in ProfilingMode])
+    parser.add_argument("--max-hours", type=float, default=1000.0)
+    parser.add_argument("--failure-rate", type=float, default=0.0,
+                        help="node failures per node-hour")
+    parser.add_argument("--round-duration", type=float, default=60.0)
+    parser.add_argument("--p", type=float, default=-0.5,
+                        help="Sia fairness power")
+    parser.add_argument("--lam", type=float, default=1.1,
+                        help="Sia allocation incentive lambda")
+    parser.add_argument("--solver", default="milp",
+                        choices=["milp", "exact", "greedy"])
+    parser.add_argument("--gavel-policy", default="max_sum_throughput",
+                        choices=list(GavelScheduler.POLICIES))
+    parser.add_argument("--out", help="write results/trace JSON here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sia (SOSP 2023) reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    catalog = sub.add_parser("catalog", help="print the model/GPU catalogs")
+    catalog.set_defaults(func=cmd_catalog)
+
+    trace = sub.add_parser("trace", help="sample and optionally save a trace")
+    _add_trace_options(trace)
+    trace.add_argument("--out", help="write the trace JSON here")
+    trace.set_defaults(func=cmd_trace)
+
+    run = sub.add_parser("run", help="simulate one scheduler on a trace")
+    run.add_argument("--scheduler", default="sia")
+    _add_trace_options(run)
+    _add_sim_options(run)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare",
+                             help="simulate several schedulers on one trace")
+    compare.add_argument("--schedulers", default="sia,pollux,gavel")
+    _add_trace_options(compare)
+    _add_sim_options(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    report = sub.add_parser("report",
+                            help="build a markdown report from saved results")
+    report.add_argument("results", nargs="+",
+                        help="result JSON files from `run --out`")
+    report.add_argument("--title", default="Simulation report")
+    report.add_argument("--out", help="write the markdown here")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

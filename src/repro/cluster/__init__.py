@@ -1,0 +1,21 @@
+"""Cluster/resource model: GPU catalog, nodes, clusters, preset testbeds."""
+
+from repro.cluster.cluster import Cluster, ClusterState
+from repro.cluster.gpu import GPU_CATALOG, GPU_POWER_ORDER, GPUSpec, gpu_spec, power_rank
+from repro.cluster.node import Node, NodeGroup, NodeState, power_of_two_decomposition
+from repro.cluster import presets
+
+__all__ = [
+    "Cluster",
+    "ClusterState",
+    "GPU_CATALOG",
+    "GPU_POWER_ORDER",
+    "GPUSpec",
+    "gpu_spec",
+    "power_rank",
+    "Node",
+    "NodeGroup",
+    "NodeState",
+    "power_of_two_decomposition",
+    "presets",
+]

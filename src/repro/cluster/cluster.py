@@ -1,0 +1,150 @@
+"""Cluster model: a collection of nodes of possibly several GPU types.
+
+The cluster exposes the views the schedulers need:
+
+* node inventory grouped by GPU type (with virtual-node decomposition so
+  every schedulable node has a power-of-two GPU count — Section 3.3);
+* capacity per GPU type (for ILP / LP constraints);
+* mutable occupancy (`ClusterState`) used by the Placer and the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.gpu import GPUSpec, gpu_spec
+from repro.cluster.node import Node, NodeGroup, NodeState, power_of_two_decomposition
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Immutable description of a cluster."""
+
+    nodes: tuple[Node, ...]
+
+    @staticmethod
+    def from_groups(groups: list[NodeGroup], *, split_virtual: bool = True) -> "Cluster":
+        """Build a cluster from homogeneous node groups.
+
+        With ``split_virtual`` (the default, matching Section 3.3), nodes with
+        non-power-of-two GPU counts are decomposed into power-of-two virtual
+        nodes sharing the same physical id.
+        """
+        nodes: list[Node] = []
+        next_id = 0
+        next_physical = 0
+        for group in groups:
+            for _ in range(group.num_nodes):
+                physical = next_physical
+                next_physical += 1
+                if split_virtual:
+                    parts = power_of_two_decomposition(group.gpus_per_node)
+                else:
+                    parts = [group.gpus_per_node]
+                for part in parts:
+                    nodes.append(Node(node_id=next_id, gpu_type=group.gpu_type,
+                                      num_gpus=part, physical_id=physical))
+                    next_id += 1
+        if not nodes:
+            raise ValueError("cluster must contain at least one node")
+        return Cluster(nodes=tuple(nodes))
+
+    # -- static views ------------------------------------------------------
+
+    @property
+    def gpu_types(self) -> tuple[str, ...]:
+        """GPU types present, ordered by first appearance."""
+        seen: dict[str, None] = {}
+        for node in self.nodes:
+            seen.setdefault(node.gpu_type, None)
+        return tuple(seen)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(node.num_gpus for node in self.nodes)
+
+    def nodes_of_type(self, gpu_type: str) -> tuple[Node, ...]:
+        return tuple(n for n in self.nodes if n.gpu_type == gpu_type)
+
+    def capacity(self, gpu_type: str) -> int:
+        """Total GPUs of ``gpu_type`` in the cluster."""
+        return sum(n.num_gpus for n in self.nodes_of_type(gpu_type))
+
+    def capacities(self) -> dict[str, int]:
+        return {t: self.capacity(t) for t in self.gpu_types}
+
+    def max_node_size(self, gpu_type: str) -> int:
+        nodes = self.nodes_of_type(gpu_type)
+        if not nodes:
+            raise KeyError(f"no nodes of type {gpu_type!r}")
+        return max(n.num_gpus for n in nodes)
+
+    def spec(self, gpu_type: str) -> GPUSpec:
+        return gpu_spec(gpu_type)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(self.gpu_types) == 1
+
+    def scaled(self, factor: int) -> "Cluster":
+        """Return a cluster with every node group replicated ``factor`` times
+        (used for the scalability study, Figure 9)."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        groups = [NodeGroup(n.gpu_type, factor, n.num_gpus) for n in self.nodes]
+        return Cluster.from_groups(groups, split_virtual=False)
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``'6x t4(4) + 3x rtx(8) + 2x a100(8)'``."""
+        counts: dict[tuple[str, int], int] = {}
+        for node in self.nodes:
+            key = (node.gpu_type, node.num_gpus)
+            counts[key] = counts.get(key, 0) + 1
+        parts = [f"{n}x {t}({g})" for (t, g), n in sorted(counts.items())]
+        return " + ".join(parts)
+
+
+@dataclass
+class ClusterState:
+    """Mutable occupancy of a cluster during scheduling/simulation."""
+
+    cluster: Cluster
+    node_states: dict[int, NodeState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.node_states:
+            self.node_states = {
+                n.node_id: NodeState(node=n) for n in self.cluster.nodes
+            }
+
+    def free_gpus(self, gpu_type: str) -> int:
+        return sum(
+            st.free for st in self.node_states.values()
+            if st.node.gpu_type == gpu_type
+        )
+
+    def used_gpus(self, gpu_type: str | None = None) -> int:
+        return sum(
+            st.used for st in self.node_states.values()
+            if gpu_type is None or st.node.gpu_type == gpu_type
+        )
+
+    def nodes_of_type(self, gpu_type: str) -> list[NodeState]:
+        return [st for st in self.node_states.values()
+                if st.node.gpu_type == gpu_type]
+
+    def job_nodes(self, job_id: str) -> dict[int, int]:
+        """``{node_id: gpu_count}`` currently held by ``job_id``."""
+        return {
+            nid: st.used_by[job_id]
+            for nid, st in self.node_states.items()
+            if job_id in st.used_by
+        }
+
+    def release_job(self, job_id: str) -> None:
+        for st in self.node_states.values():
+            st.release(job_id)
+
+    def clear(self) -> None:
+        for st in self.node_states.values():
+            st.used_by.clear()

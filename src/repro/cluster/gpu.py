@@ -1,0 +1,80 @@
+"""GPU type catalog.
+
+The paper's testbeds use four GPU types (Section 4.2).  Each entry records
+memory capacity, a relative compute capability (used by the synthetic
+ground-truth performance catalog; see ``repro.perf.profiles``) and the
+node-level interconnect bandwidths, which determine all-reduce costs.
+
+These are *hardware* facts; how fast a given DL model runs on a given GPU
+type is model-dependent and lives in :mod:`repro.perf.profiles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU type."""
+
+    name: str
+    #: GPU memory in GiB (limits the local batch size per GPU).
+    memory_gb: float
+    #: relative dense-compute capability (T4 == 1.0).  Model-specific speedups
+    #: are derived from this in the performance catalog but may deviate
+    #: (e.g. BERT benefits disproportionately from A100 tensor cores).
+    compute_scale: float
+    #: intra-node GPU interconnect bandwidth, Gbit/s (NVLink/PCIe).
+    intra_node_bw_gbps: float
+    #: inter-node network bandwidth, Gbit/s (Ethernet / InfiniBand).
+    inter_node_bw_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0 or self.compute_scale <= 0:
+            raise ValueError(f"invalid GPUSpec for {self.name!r}")
+        if self.intra_node_bw_gbps <= 0 or self.inter_node_bw_gbps <= 0:
+            raise ValueError(f"invalid bandwidths for {self.name!r}")
+
+
+#: The four GPU types used throughout the paper's evaluation (Section 4.2).
+GPU_CATALOG: dict[str, GPUSpec] = {
+    # [Cloud] g4dn.12xlarge: 4x NVIDIA T4 (16 GB), ~10 Gb/s PCIe-ish intra,
+    # 50 Gb/s instance networking.
+    "t4": GPUSpec("t4", memory_gb=16.0, compute_scale=1.0,
+                  intra_node_bw_gbps=64.0, inter_node_bw_gbps=50.0),
+    # [On-prem] 8x RTX 2080Ti (11 GB) with 50 Gb/s Ethernet.
+    "rtx": GPUSpec("rtx", memory_gb=11.0, compute_scale=2.1,
+                   intra_node_bw_gbps=96.0, inter_node_bw_gbps=50.0),
+    # [On-prem] DGX-A100: 8x A100 (40 GB), NVLink, 1.6 Tb/s InfiniBand.
+    "a100": GPUSpec("a100", memory_gb=40.0, compute_scale=5.2,
+                    intra_node_bw_gbps=4800.0, inter_node_bw_gbps=1600.0),
+    # [On-prem] workstation: 4x Quadro RTX6000 (24 GB), 200 Gb/s InfiniBand.
+    "quad": GPUSpec("quad", memory_gb=24.0, compute_scale=2.6,
+                    intra_node_bw_gbps=200.0, inter_node_bw_gbps=200.0),
+}
+
+#: "More powerful" ordering used by the Pollux mixed-allocation fix-up
+#: heuristic (Section 4.3): a100 > quad > rtx > t4.
+GPU_POWER_ORDER: tuple[str, ...] = ("a100", "quad", "rtx", "t4")
+
+
+def gpu_spec(name: str) -> GPUSpec:
+    """Look up a GPU type, raising a helpful error for unknown names."""
+    try:
+        return GPU_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_CATALOG))
+        raise KeyError(f"unknown GPU type {name!r}; known types: {known}") from None
+
+
+def power_rank(name: str) -> int:
+    """Rank of a GPU type in the power ordering (0 == most powerful).
+
+    Unknown types sort after all catalog types, by compute scale if they have
+    been registered, else alphabetically last.
+    """
+    try:
+        return GPU_POWER_ORDER.index(name)
+    except ValueError:
+        return len(GPU_POWER_ORDER)

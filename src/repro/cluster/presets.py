@@ -1,0 +1,69 @@
+"""The three evaluation testbeds from Section 4.3, plus helpers.
+
+* ``physical()``      — 3x rtx(8) + 2x a100(8) + 1x quad(4) = 44 GPUs.
+* ``homogeneous()``   — 16x t4(4) = 64 GPUs.
+* ``heterogeneous()`` — 6x t4(4) + 3x rtx(8) + 2x a100(8) = 64 GPUs.
+
+``scaled_heterogeneous(total_gpus)`` replicates the heterogeneous mix to a
+target size (Figure 9 scalability study: 64 → 2048 GPUs).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeGroup
+
+
+def physical() -> Cluster:
+    """The 44-GPU 3-GPU-type physical testbed (Section 5.1)."""
+    return Cluster.from_groups([
+        NodeGroup("rtx", num_nodes=3, gpus_per_node=8),
+        NodeGroup("a100", num_nodes=2, gpus_per_node=8),
+        NodeGroup("quad", num_nodes=1, gpus_per_node=4),
+    ])
+
+
+def homogeneous() -> Cluster:
+    """16 cloud t4 nodes, 64 GPUs total (Section 4.3)."""
+    return Cluster.from_groups([
+        NodeGroup("t4", num_nodes=16, gpus_per_node=4),
+    ])
+
+
+def heterogeneous() -> Cluster:
+    """6 t4 + 3 rtx + 2 a100 nodes, 64 GPUs total (Section 4.3)."""
+    return Cluster.from_groups([
+        NodeGroup("t4", num_nodes=6, gpus_per_node=4),
+        NodeGroup("rtx", num_nodes=3, gpus_per_node=8),
+        NodeGroup("a100", num_nodes=2, gpus_per_node=8),
+    ])
+
+
+def scaled_heterogeneous(total_gpus: int) -> Cluster:
+    """Heterogeneous mix scaled to approximately ``total_gpus`` (Figure 9).
+
+    The base mix is 64 GPUs; ``total_gpus`` must be a positive multiple of 64.
+    """
+    if total_gpus < 64 or total_gpus % 64 != 0:
+        raise ValueError("total_gpus must be a positive multiple of 64")
+    factor = total_gpus // 64
+    return Cluster.from_groups([
+        NodeGroup("t4", num_nodes=6 * factor, gpus_per_node=4),
+        NodeGroup("rtx", num_nodes=3 * factor, gpus_per_node=8),
+        NodeGroup("a100", num_nodes=2 * factor, gpus_per_node=8),
+    ])
+
+
+PRESETS = {
+    "physical": physical,
+    "homogeneous": homogeneous,
+    "heterogeneous": heterogeneous,
+}
+
+
+def by_name(name: str) -> Cluster:
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown preset {name!r}; known presets: {known}") from None

@@ -1,0 +1,50 @@
+"""Cross-GPU-type throughput bootstrapping (Section 3.2, Equation 1).
+
+When a job has multi-GPU experience on GPU type A but only a 1-GPU profile
+on type B, Sia estimates B's multi-GPU throughput as::
+
+    est_xput_B(N) = (xput_B(1) / xput_A(1)) * xput_A(N)
+
+i.e. it assumes B's compute:communication scaling matches A's (which is
+known) and rescales by the single-GPU speed ratio (which is also known from
+the initial profiling pass).  The bootstrapped model is discarded as soon as
+the job actually runs multi-GPU on B and real communication times become
+available.
+"""
+
+from __future__ import annotations
+
+
+def bootstrap_ratio(single_gpu_xput_target: float,
+                    single_gpu_xput_reference: float) -> float:
+    """The 1-GPU speed ratio between the target and reference GPU types."""
+    if single_gpu_xput_target <= 0 or single_gpu_xput_reference <= 0:
+        raise ValueError("single-GPU throughputs must be positive")
+    return single_gpu_xput_target / single_gpu_xput_reference
+
+
+def bootstrap_throughput(single_gpu_xput_target: float,
+                         single_gpu_xput_reference: float,
+                         reference_multi_gpu_xput: float) -> float:
+    """Equation (1): estimated multi-GPU throughput on the target type."""
+    if reference_multi_gpu_xput < 0:
+        raise ValueError("reference throughput must be non-negative")
+    ratio = bootstrap_ratio(single_gpu_xput_target, single_gpu_xput_reference)
+    return ratio * reference_multi_gpu_xput
+
+
+def pick_reference_type(candidates: dict[str, bool],
+                        single_gpu_xputs: dict[str, float]) -> str | None:
+    """Choose the reference GPU type A for bootstrapping.
+
+    ``candidates`` maps GPU type -> whether the job has multi-GPU experience
+    on it; ``single_gpu_xputs`` maps GPU type -> its measured 1-GPU
+    throughput.  Among types with multi-GPU experience we prefer the one the
+    job ran fastest on (most refined and closest in character to the large
+    allocations Sia will consider).  Returns None if no type qualifies.
+    """
+    experienced = [t for t, known in candidates.items()
+                   if known and single_gpu_xputs.get(t, 0.0) > 0]
+    if not experienced:
+        return None
+    return max(experienced, key=lambda t: single_gpu_xputs[t])

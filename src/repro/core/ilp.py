@@ -1,0 +1,268 @@
+"""0/1 ILP solver for the Sia assignment problem (Section 3.4).
+
+The problem: choose at most one configuration per job, maximizing the sum of
+(job, configuration) utilities plus an allocation incentive ``lambda`` per
+allocated job, subject to per-GPU-type capacity.  Equation (2)'s penalty
+``lambda * (1 - ||A_i||_1)`` is, up to a constant, an extra ``lambda`` of
+utility on every feasible pair, which is how we encode it.
+
+Three interchangeable backends:
+
+* ``milp``   — scipy's HiGHS mixed-integer solver (the default; stands in
+  for the paper's CVXPY/GLPK_MI).
+* ``greedy`` — utility-density greedy rounding (ablation baseline; fast but
+  not optimal).
+* ``exact``  — pure-Python branch-and-bound (reference implementation used
+  by tests to certify MILP optimality on small instances, and fallback if
+  scipy is unavailable).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+try:  # scipy is an install dependency, but keep the pure-Python path alive.
+    from scipy.optimize import Bounds, LinearConstraint, milp
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _HAVE_SCIPY = False
+
+
+@dataclass
+class AssignmentProblem:
+    """One round's assignment instance.
+
+    ``utilities[i][j]`` is the value of giving job ``i`` configuration ``j``
+    (allocation incentive included); ``math.nan`` marks infeasible pairs.
+    ``config_gpus[j]``/``config_types[j]`` give each configuration's GPU
+    demand and type; ``capacities`` bounds total GPUs per type.  ``forced``
+    pins jobs (non-preemptive jobs / reservations) to a configuration index.
+    """
+
+    utilities: np.ndarray
+    config_gpus: np.ndarray
+    config_types: list[str]
+    capacities: dict[str, int]
+    forced: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.utilities = np.asarray(self.utilities, dtype=float)
+        self.config_gpus = np.asarray(self.config_gpus, dtype=int)
+        n_jobs, n_configs = self.utilities.shape
+        if len(self.config_gpus) != n_configs or len(self.config_types) != n_configs:
+            raise ValueError("configuration arrays disagree on length")
+        for row, col in self.forced.items():
+            if not (0 <= row < n_jobs and 0 <= col < n_configs):
+                raise ValueError(f"forced pair ({row}, {col}) out of range")
+            if math.isnan(self.utilities[row, col]):
+                raise ValueError(f"forced pair ({row}, {col}) is infeasible")
+
+    @property
+    def n_jobs(self) -> int:
+        return self.utilities.shape[0]
+
+    @property
+    def n_configs(self) -> int:
+        return self.utilities.shape[1]
+
+    def feasible_pairs(self) -> list[tuple[int, int]]:
+        rows, cols = np.where(~np.isnan(self.utilities))
+        return list(zip(rows.tolist(), cols.tolist()))
+
+
+@dataclass
+class AssignmentSolution:
+    """Chosen configuration per job (jobs absent receive nothing)."""
+
+    assignment: dict[int, int]
+    objective: float
+    solve_time: float
+
+    def gpus_used(self, problem: AssignmentProblem) -> dict[str, int]:
+        used: dict[str, int] = {}
+        for _, col in self.assignment.items():
+            t = problem.config_types[col]
+            used[t] = used.get(t, 0) + int(problem.config_gpus[col])
+        return used
+
+
+def solve_assignment(problem: AssignmentProblem,
+                     backend: str = "milp") -> AssignmentSolution:
+    """Solve one assignment instance with the chosen backend."""
+    start = time.perf_counter()
+    if backend == "milp":
+        if _HAVE_SCIPY:
+            solution = _solve_milp(problem)
+        else:  # pragma: no cover
+            solution = _solve_exact(problem)
+    elif backend == "greedy":
+        solution = _solve_greedy(problem)
+    elif backend == "exact":
+        solution = _solve_exact(problem)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    solution.solve_time = time.perf_counter() - start
+    _validate(problem, solution)
+    return solution
+
+
+def _validate(problem: AssignmentProblem, solution: AssignmentSolution) -> None:
+    used = solution.gpus_used(problem)
+    for gpu_type, count in used.items():
+        cap = problem.capacities.get(gpu_type, 0)
+        if count > cap:
+            raise RuntimeError(
+                f"solver over-allocated {gpu_type}: {count} > {cap}")
+    for row, col in problem.forced.items():
+        if solution.assignment.get(row) != col:
+            raise RuntimeError(f"solver dropped forced assignment for job {row}")
+
+
+# -- MILP backend (HiGHS via scipy) -----------------------------------------
+
+def _solve_milp(problem: AssignmentProblem) -> AssignmentSolution:
+    pairs = problem.feasible_pairs()
+    if not pairs:
+        return AssignmentSolution({}, 0.0, 0.0)
+    n_vars = len(pairs)
+    cost = np.array([-problem.utilities[i, j] for i, j in pairs])
+
+    rows: list[np.ndarray] = []
+    uppers: list[float] = []
+    # (a) each job picks at most one configuration.
+    by_job: dict[int, list[int]] = {}
+    for idx, (i, _) in enumerate(pairs):
+        by_job.setdefault(i, []).append(idx)
+    for indices in by_job.values():
+        row = np.zeros(n_vars)
+        row[indices] = 1.0
+        rows.append(row)
+        uppers.append(1.0)
+    # (b) per-GPU-type capacity.
+    for gpu_type, cap in problem.capacities.items():
+        row = np.zeros(n_vars)
+        hit = False
+        for idx, (_, j) in enumerate(pairs):
+            if problem.config_types[j] == gpu_type:
+                row[idx] = float(problem.config_gpus[j])
+                hit = True
+        if hit:
+            rows.append(row)
+            uppers.append(float(cap))
+
+    lb = np.zeros(n_vars)
+    ub = np.ones(n_vars)
+    for row_job, col in problem.forced.items():
+        idx = pairs.index((row_job, col))
+        lb[idx] = 1.0
+
+    constraints = LinearConstraint(np.vstack(rows), -np.inf, np.array(uppers))
+    result = milp(c=cost, constraints=constraints,
+                  integrality=np.ones(n_vars),
+                  bounds=Bounds(lb, ub))
+    if result.status != 0 or result.x is None:
+        raise RuntimeError(f"MILP failed: {result.message}")
+    assignment: dict[int, int] = {}
+    for idx, value in enumerate(result.x):
+        if value > 0.5:
+            i, j = pairs[idx]
+            assignment[i] = j
+    objective = float(sum(problem.utilities[i, j]
+                          for i, j in assignment.items()))
+    return AssignmentSolution(assignment, objective, 0.0)
+
+
+# -- greedy backend ----------------------------------------------------------
+
+def _solve_greedy(problem: AssignmentProblem) -> AssignmentSolution:
+    """Assign pairs in order of utility per GPU, honouring forced pairs."""
+    remaining = dict(problem.capacities)
+    assignment: dict[int, int] = {}
+
+    def try_assign(i: int, j: int) -> bool:
+        gpu_type = problem.config_types[j]
+        need = int(problem.config_gpus[j])
+        if remaining.get(gpu_type, 0) < need:
+            return False
+        remaining[gpu_type] -= need
+        assignment[i] = j
+        return True
+
+    for i, j in problem.forced.items():
+        if not try_assign(i, j):
+            raise RuntimeError(f"cannot satisfy forced assignment ({i}, {j})")
+
+    pairs = [(i, j) for i, j in problem.feasible_pairs()
+             if i not in assignment]
+    pairs.sort(key=lambda ij: (
+        -problem.utilities[ij] / max(1, problem.config_gpus[ij[1]]),
+        problem.config_gpus[ij[1]],
+    ))
+    for i, j in pairs:
+        if i in assignment or problem.utilities[i, j] <= 0:
+            continue
+        try_assign(i, j)
+    objective = float(sum(problem.utilities[i, j]
+                          for i, j in assignment.items()))
+    return AssignmentSolution(assignment, objective, 0.0)
+
+
+# -- exact branch-and-bound backend ------------------------------------------
+
+def _solve_exact(problem: AssignmentProblem) -> AssignmentSolution:
+    """Depth-first branch-and-bound over jobs; exact but exponential.
+
+    Intended for small instances (tests, tiny clusters).  Jobs are visited
+    in order; the bound adds each remaining job's best feasible utility,
+    ignoring capacity (admissible, hence never prunes the optimum).
+    """
+    n = problem.n_jobs
+    options: list[list[tuple[float, int]]] = []
+    for i in range(n):
+        row = problem.utilities[i]
+        feasible = [(float(row[j]), j) for j in range(problem.n_configs)
+                    if not math.isnan(row[j])]
+        feasible.sort(reverse=True)
+        if i in problem.forced:
+            feasible = [(u, j) for u, j in feasible if j == problem.forced[i]]
+        options.append(feasible)
+    best_tail = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        top = max((u for u, _ in options[i]), default=0.0)
+        best_tail[i] = best_tail[i + 1] + max(0.0, top)
+
+    best_obj = -math.inf
+    best_assignment: dict[int, int] = {}
+
+    def dfs(i: int, value: float, remaining: dict[str, int],
+            chosen: dict[int, int]) -> None:
+        nonlocal best_obj, best_assignment
+        if value + best_tail[i] <= best_obj:
+            return
+        if i == n:
+            if value > best_obj:
+                best_obj = value
+                best_assignment = dict(chosen)
+            return
+        # Option: skip this job (not allowed if forced).
+        if i not in problem.forced:
+            dfs(i + 1, value, remaining, chosen)
+        for utility, j in options[i]:
+            gpu_type = problem.config_types[j]
+            need = int(problem.config_gpus[j])
+            if remaining.get(gpu_type, 0) < need:
+                continue
+            remaining[gpu_type] -= need
+            chosen[i] = j
+            dfs(i + 1, value + utility, remaining, chosen)
+            del chosen[i]
+            remaining[gpu_type] += need
+
+    dfs(0, 0.0, dict(problem.capacities), {})
+    if not math.isfinite(best_obj):
+        raise RuntimeError("exact solver found no feasible assignment")
+    return AssignmentSolution(best_assignment, best_obj, 0.0)

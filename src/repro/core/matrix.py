@@ -1,0 +1,140 @@
+"""Normalized goodput matrix and utility shaping (Section 3.4).
+
+Pipeline, per scheduling round:
+
+1. raw goodput matrix ``G`` — one row per job, one column per configuration,
+   from each job's Goodput Estimator (nan where infeasible);
+2. row normalization — ``G_ij <- N_i_min * G_ij / min_j G_ij`` makes rows
+   comparable across jobs (the row minimum becomes the job's minimum GPU
+   count, so every feasible entry is a unitless multiple of the job's worst
+   option);
+3. restart factor (Equation 3) — entries whose configuration differs from
+   the job's current one are discounted by the job's historical useful-time
+   fraction;
+4. fairness power ``p`` — entries are raised to ``p``; for ``p < 0`` the
+   objective flips to minimization, which we encode by negating utilities so
+   the ILP always maximizes.
+
+The allocation incentive ``lambda`` is folded into each pair's utility (an
+allocated job always gains ``lambda`` over staying queued).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.types import Configuration
+
+
+def build_goodput_matrix(goodputs: list[dict[int, float]],
+                         n_configs: int) -> np.ndarray:
+    """Assemble the raw matrix from per-job ``{config_index: goodput}`` maps.
+
+    Entries absent from a job's map, or with non-positive goodput, are
+    marked infeasible (nan).
+    """
+    matrix = np.full((len(goodputs), n_configs), math.nan)
+    for i, row in enumerate(goodputs):
+        for j, value in row.items():
+            if not 0 <= j < n_configs:
+                raise IndexError(f"config index {j} out of range")
+            if value > 0 and math.isfinite(value):
+                matrix[i, j] = value
+    return matrix
+
+
+def normalize_rows(matrix: np.ndarray, min_gpus: list[int]) -> np.ndarray:
+    """Row-min normalization: ``G_ij <- N_i_min * G_ij / min_j G_ij``."""
+    if matrix.shape[0] != len(min_gpus):
+        raise ValueError("min_gpus length must match the number of rows")
+    out = matrix.copy()
+    for i in range(out.shape[0]):
+        row = out[i]
+        finite = row[~np.isnan(row)]
+        if finite.size == 0:
+            continue
+        row_min = float(finite.min())
+        if row_min <= 0:
+            raise ValueError(f"row {i} has non-positive goodput {row_min}")
+        out[i] = min_gpus[i] * row / row_min
+    return out
+
+
+def restart_factor(age: float, num_restarts: int, restart_cost: float) -> float:
+    """Equation (3): the job's projected useful-time fraction after one more
+    restart, clamped to [0, 1].
+
+    ``age`` is seconds since the job first started running, ``num_restarts``
+    how many times it restarted before, ``restart_cost`` the GPU-seconds one
+    checkpoint-restore wastes.  Young jobs and restart-heavy jobs get small
+    factors, making configuration changes unattractive for them.
+    """
+    if age < 0 or num_restarts < 0 or restart_cost < 0:
+        raise ValueError("restart-factor inputs must be non-negative")
+    if age == 0 and restart_cost == 0:
+        return 1.0
+    useful = max(0.0, age - num_restarts * restart_cost)
+    factor = useful / (age + restart_cost)
+    return min(1.0, max(0.0, factor))
+
+
+def apply_restart_discount(matrix: np.ndarray,
+                           current_config_index: list[int | None],
+                           factors: list[float]) -> np.ndarray:
+    """Discount entries that would restart the job (config != current)."""
+    n_rows = matrix.shape[0]
+    if len(current_config_index) != n_rows or len(factors) != n_rows:
+        raise ValueError("per-job inputs must match the number of rows")
+    out = matrix.copy()
+    for i in range(n_rows):
+        current = current_config_index[i]
+        if current is None:
+            continue  # queued jobs start fresh; no restart is involved
+        factor = factors[i]
+        for j in range(out.shape[1]):
+            if j != current and not math.isnan(out[i, j]):
+                out[i, j] *= factor
+    return out
+
+
+def shape_utilities(matrix: np.ndarray, *, p: float,
+                    allocation_incentive: float) -> np.ndarray:
+    """Fairness power + allocation incentive -> final ILP utilities.
+
+    For ``p > 0`` the utility of a pair is ``lambda + G^p`` (maximize).  For
+    ``p < 0`` the paper minimizes ``sum G^p``; we negate so the ILP keeps
+    maximizing: utility ``lambda - G^p``.  ``p == 0`` degenerates to "every
+    feasible configuration is equally good" (utility ``lambda + 1``).
+    """
+    if allocation_incentive < 0:
+        raise ValueError("allocation incentive must be non-negative")
+    out = np.full_like(matrix, math.nan)
+    feasible = ~np.isnan(matrix)
+    values = matrix[feasible]
+    if values.size and values.min() <= 0:
+        # A zero restart factor can zero out entries; drop them (a restart
+        # with no projected useful time is never worth taking).
+        pass
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if p > 0:
+            shaped = allocation_incentive + np.power(values, p)
+        elif p < 0:
+            shaped = allocation_incentive - np.power(values, p)
+        else:
+            shaped = np.full_like(values, allocation_incentive + 1.0)
+    shaped = np.where(np.isfinite(shaped), shaped, math.nan)
+    out[feasible] = shaped
+    return out
+
+
+def config_index(configs: list[Configuration],
+                 config: Configuration | None) -> int | None:
+    """Index of ``config`` in the round's configuration list, if present."""
+    if config is None:
+        return None
+    try:
+        return configs.index(config)
+    except ValueError:
+        return None

@@ -1,0 +1,175 @@
+"""The Sia scheduling policy (Section 3.4).
+
+Each round:
+
+1. build the valid configuration set ``C`` for the cluster (Section 3.3);
+2. per job, filter ``C`` to what the job may use this round — submitter GPU
+   limits, the <= 2x scale-up rule, allowed GPU types, hybrid replica
+   multiples;
+3. query each job's Goodput Estimator for every feasible configuration;
+4. row-normalize the goodput matrix, discount restarts (Equation 3), shape
+   with the fairness power ``p`` and allocation incentive ``lambda``;
+5. solve the 0/1 ILP with per-GPU-type capacity constraints;
+6. hand the chosen configurations to the Placer.
+
+Non-preemptible running jobs are pinned to their current configuration via
+forced ILP assignments (Section 3.4, "Preemption and reservation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.cluster import Cluster
+from repro.core import matrix as gm
+from repro.core.configs import build_config_set
+from repro.core.ilp import AssignmentProblem, AssignmentSolution, solve_assignment
+from repro.core.types import Configuration, PolicyDecision
+
+if TYPE_CHECKING:  # avoid a circular import; JobView is only a type hint
+    from repro.schedulers.base import JobView
+
+
+@dataclass
+class SiaPolicyParams:
+    """Tunables with the paper's defaults (Section 4.3)."""
+
+    #: fairness power p (Section 5.7; default -0.5).
+    p: float = -0.5
+    #: allocation incentive lambda (Section 4.3; default 1.1).
+    allocation_incentive: float = 1.1
+    #: per-round scale-up cap (Section 3.1; "at most 2x per round").
+    scale_up_factor: int = 2
+    #: ILP backend: 'milp', 'greedy' or 'exact'.
+    solver: str = "milp"
+    #: disable the restart factor (ablation).
+    use_restart_factor: bool = True
+
+
+class SiaPolicy:
+    """Computes one round's configuration assignments."""
+
+    def __init__(self, params: SiaPolicyParams | None = None):
+        self.params = params or SiaPolicyParams()
+        self._config_cache: tuple[int, list[Configuration]] | None = None
+
+    def configurations(self, cluster: Cluster,
+                       max_gpus: int | None = None) -> list[Configuration]:
+        """The valid configuration set, cached per cluster identity."""
+        key = (id(cluster), max_gpus)
+        if self._config_cache is not None and self._config_cache[0] == key:
+            return self._config_cache[1]
+        configs = build_config_set(cluster, max_gpus=max_gpus)
+        self._config_cache = (key, configs)
+        return configs
+
+    def feasible_configs(self, view: "JobView",
+                         configs: list[Configuration]) -> list[int]:
+        """Indices of configurations the job may use this round."""
+        job = view.job
+        allowed_types = job.allowed_gpu_types
+        current = view.current_config
+        if current is not None:
+            growth_cap = current.num_gpus * self.params.scale_up_factor
+        else:
+            growth_cap = self._starting_cap(view, configs)
+        out: list[int] = []
+        for j, config in enumerate(configs):
+            if allowed_types is not None and config.gpu_type not in allowed_types:
+                continue
+            if config.num_gpus > job.effective_max_gpus:
+                continue
+            if not self._meets_minimum(view, config):
+                continue
+            if config.num_gpus > growth_cap and config != current:
+                continue
+            out.append(j)
+        # A running job may always keep its configuration.
+        if current is not None and current in configs:
+            idx = configs.index(current)
+            if idx not in out:
+                out.append(idx)
+        return out
+
+    def _starting_cap(self, view: "JobView",
+                      configs: list[Configuration]) -> int:
+        """Initial allocation cap for a queued job: exactly the minimum size
+        (Section 3.1's scale-up policy), which for hybrid jobs is the largest
+        per-type replica size so every profiled type is reachable."""
+        job = view.job
+        if job.hybrid is not None:
+            return max(job.hybrid.stages_per_type.values())
+        return max(1, job.effective_min_gpus)
+
+    def _meets_minimum(self, view: "JobView", config: Configuration) -> bool:
+        job = view.job
+        if config.num_gpus < job.effective_min_gpus:
+            return False
+        if job.fixed_num_gpus is not None \
+                and config.num_gpus != job.fixed_num_gpus:
+            return False
+        if job.hybrid is not None:
+            if job.hybrid.num_replicas(config) is None:
+                return False
+        return True
+
+    # -- main entry point ------------------------------------------------------
+
+    def decide(self, views: "list[JobView]", cluster: Cluster,
+               now: float) -> PolicyDecision:
+        if not views:
+            return PolicyDecision()
+        max_gpus = max(v.job.effective_max_gpus for v in views)
+        configs = self.configurations(cluster, max_gpus=max_gpus)
+        n_configs = len(configs)
+
+        goodputs: list[dict[int, float]] = []
+        for view in views:
+            row: dict[int, float] = {}
+            for j in self.feasible_configs(view, configs):
+                value = view.estimator.goodput(configs[j])
+                if value > 0:
+                    row[j] = value
+            goodputs.append(row)
+
+        raw = gm.build_goodput_matrix(goodputs, n_configs)
+        min_gpus = [v.job.effective_min_gpus for v in views]
+        normalized = gm.normalize_rows(raw, min_gpus)
+
+        current_idx = [gm.config_index(configs, v.current_config)
+                       for v in views]
+        if self.params.use_restart_factor:
+            factors = [gm.restart_factor(v.age, v.num_restarts,
+                                         v.job.restart_delay)
+                       for v in views]
+        else:
+            factors = [1.0] * len(views)
+        discounted = gm.apply_restart_discount(normalized, current_idx, factors)
+        utilities = gm.shape_utilities(
+            discounted, p=self.params.p,
+            allocation_incentive=self.params.allocation_incentive)
+
+        forced: dict[int, int] = {}
+        for i, view in enumerate(views):
+            if view.is_running and not view.job.preemptible \
+                    and current_idx[i] is not None:
+                forced[i] = current_idx[i]
+
+        problem = AssignmentProblem(
+            utilities=utilities,
+            config_gpus=[c.num_gpus for c in configs],
+            config_types=[c.gpu_type for c in configs],
+            capacities=cluster.capacities(),
+            forced=forced,
+        )
+        solution: AssignmentSolution = solve_assignment(
+            problem, backend=self.params.solver)
+
+        assignments = {
+            views[i].job_id: configs[j]
+            for i, j in solution.assignment.items()
+        }
+        return PolicyDecision(assignments=assignments,
+                              solve_time=solution.solve_time,
+                              objective=solution.objective)

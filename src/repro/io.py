@@ -1,0 +1,178 @@
+"""Serialization: save/load traces and simulation results as JSON.
+
+Traces round-trip exactly (including hybrid specs and inference metadata)
+so experiments can be pinned to files and re-run; results serialize the
+per-job and per-round records every metric is derived from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.types import AdaptivityMode
+from repro.jobs.hybrid import HybridSpec
+from repro.jobs.job import Job
+from repro.sim.telemetry import JobRecord, RoundRecord, SimulationResult
+from repro.workloads.trace import Trace
+
+FORMAT_VERSION = 1
+
+
+# -- traces ------------------------------------------------------------------
+
+def job_to_dict(job: Job) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "job_id": job.job_id,
+        "model_name": job.model_name,
+        "submit_time": job.submit_time,
+        "target_samples": job.target_samples,
+        "adaptivity": job.adaptivity.value,
+        "min_gpus": job.min_gpus,
+        "max_gpus": job.max_gpus,
+        "fixed_batch_size": job.fixed_batch_size,
+        "fixed_num_gpus": job.fixed_num_gpus,
+        "fixed_gpu_type": job.fixed_gpu_type,
+        "preemptible": job.preemptible,
+        "workload": job.workload,
+        "latency_slo": job.latency_slo,
+    }
+    if job.hybrid is not None:
+        data["hybrid"] = {
+            "stages_per_type": dict(job.hybrid.stages_per_type),
+            "micro_batch_size": job.hybrid.micro_batch_size,
+            "num_microbatches": job.hybrid.num_microbatches,
+        }
+    return data
+
+
+def job_from_dict(data: dict[str, Any]) -> Job:
+    hybrid = None
+    if "hybrid" in data and data["hybrid"] is not None:
+        spec = data["hybrid"]
+        hybrid = HybridSpec(stages_per_type=dict(spec["stages_per_type"]),
+                            micro_batch_size=spec["micro_batch_size"],
+                            num_microbatches=spec["num_microbatches"])
+    return Job(
+        job_id=data["job_id"],
+        model_name=data["model_name"],
+        submit_time=data["submit_time"],
+        target_samples=data["target_samples"],
+        adaptivity=AdaptivityMode(data["adaptivity"]),
+        min_gpus=data.get("min_gpus", 1),
+        max_gpus=data["max_gpus"],
+        fixed_batch_size=data.get("fixed_batch_size"),
+        fixed_num_gpus=data.get("fixed_num_gpus"),
+        fixed_gpu_type=data.get("fixed_gpu_type"),
+        preemptible=data.get("preemptible", True),
+        hybrid=hybrid,
+        workload=data.get("workload", "training"),
+        latency_slo=data.get("latency_slo"),
+    )
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "trace",
+        "name": trace.name,
+        "seed": trace.seed,
+        "jobs": [job_to_dict(job) for job in trace.jobs],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_trace(path: str | Path) -> Trace:
+    payload = json.loads(Path(path).read_text())
+    _check_payload(payload, "trace")
+    jobs = [job_from_dict(item) for item in payload["jobs"]]
+    return Trace(name=payload["name"], jobs=jobs, seed=payload.get("seed", 0))
+
+
+# -- results -----------------------------------------------------------------
+
+def _record_to_dict(record: JobRecord) -> dict[str, Any]:
+    return {
+        "job_id": record.job_id,
+        "model_name": record.model_name,
+        "category": record.category,
+        "adaptivity": record.adaptivity,
+        "submit_time": record.submit_time,
+        "first_start": record.first_start,
+        "finish_time": record.finish_time,
+        "num_restarts": record.num_restarts,
+        "gpu_seconds": dict(record.gpu_seconds),
+        "profiling_gpu_seconds": record.profiling_gpu_seconds,
+        "avg_contention": record.avg_contention,
+        "target_samples": record.target_samples,
+    }
+
+
+def _round_to_dict(record: RoundRecord) -> dict[str, Any]:
+    return {
+        "time": record.time,
+        "active_jobs": record.active_jobs,
+        "running_jobs": record.running_jobs,
+        "solve_time": record.solve_time,
+        "allocations": {jid: list(alloc)
+                        for jid, alloc in record.allocations.items()},
+        "gpus_used": dict(record.gpus_used),
+    }
+
+
+def save_result(result: SimulationResult, path: str | Path, *,
+                include_rounds: bool = True) -> None:
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "result",
+        "scheduler_name": result.scheduler_name,
+        "cluster_description": result.cluster_description,
+        "end_time": result.end_time,
+        "censored": result.censored,
+        "node_failures": result.node_failures,
+        "jobs": [_record_to_dict(record) for record in result.jobs],
+        "rounds": [_round_to_dict(record) for record in result.rounds]
+        if include_rounds else [],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_result(path: str | Path) -> SimulationResult:
+    payload = json.loads(Path(path).read_text())
+    _check_payload(payload, "result")
+    result = SimulationResult(
+        scheduler_name=payload["scheduler_name"],
+        cluster_description=payload["cluster_description"],
+        end_time=payload["end_time"],
+        censored=payload.get("censored", 0),
+        node_failures=payload.get("node_failures", 0),
+    )
+    for item in payload["jobs"]:
+        result.jobs.append(JobRecord(
+            job_id=item["job_id"], model_name=item["model_name"],
+            category=item["category"], adaptivity=item["adaptivity"],
+            submit_time=item["submit_time"], first_start=item["first_start"],
+            finish_time=item["finish_time"],
+            num_restarts=item["num_restarts"],
+            gpu_seconds=dict(item["gpu_seconds"]),
+            profiling_gpu_seconds=item.get("profiling_gpu_seconds", 0.0),
+            avg_contention=item.get("avg_contention", 0.0),
+            target_samples=item.get("target_samples", 0.0)))
+    for item in payload.get("rounds", []):
+        result.rounds.append(RoundRecord(
+            time=item["time"], active_jobs=item["active_jobs"],
+            running_jobs=item["running_jobs"], solve_time=item["solve_time"],
+            allocations={jid: (alloc[0], int(alloc[1]))
+                         for jid, alloc in item["allocations"].items()},
+            gpus_used={t: int(n) for t, n in item["gpus_used"].items()}))
+    return result
+
+
+def _check_payload(payload: dict[str, Any], kind: str) -> None:
+    if payload.get("kind") != kind:
+        raise ValueError(f"file is a {payload.get('kind')!r}, expected {kind!r}")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {version!r} "
+                         f"(this build reads version {FORMAT_VERSION})")

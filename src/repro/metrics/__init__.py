@@ -1,0 +1,16 @@
+"""Evaluation metrics: JCT statistics, finish-time fairness, utilization."""
+
+from repro.metrics.fairness import (FairnessMetrics, fairness_metrics,
+                                    ftf_ratio, isolated_jct)
+from repro.metrics.jct import (SummaryMetrics, gpu_hours_by_model, jct_cdf,
+                               percentile, summarize)
+from repro.metrics.utilization import (average_utilization,
+                                       queue_length_series,
+                                       utilization_by_type)
+
+__all__ = [
+    "FairnessMetrics", "fairness_metrics", "ftf_ratio", "isolated_jct",
+    "SummaryMetrics", "gpu_hours_by_model", "jct_cdf", "percentile",
+    "summarize",
+    "average_utilization", "queue_length_series", "utilization_by_type",
+]

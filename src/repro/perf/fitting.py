@@ -1,0 +1,171 @@
+"""Online fitting of throughput-model parameters from observations.
+
+Adaptive Executors report measured iteration times for whatever allocation a
+job currently runs on (Section 3.5, every 30 s).  The Goodput Estimator
+turns these measurements into :class:`~repro.perf.throughput.ThroughputParams`
+for each GPU type the job has run on:
+
+* 1-GPU observations pin the compute phase (``alpha_c``, ``beta_c``) — a
+  linear fit of step time against local batch size;
+* multi-GPU observations are inverted through the gamma-norm to recover the
+  sync time, then fitted linearly against GPU count (separately for
+  single-node and multi-node allocations).
+
+The fits are deliberately simple (non-negative least squares on one or two
+points when that is all we have): the paper's point is that *little* data
+suffices once it is routed through the right model family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perf.throughput import GAMMA, ThroughputParams
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured iteration on a concrete allocation."""
+
+    gpu_type: str
+    num_nodes: int
+    num_gpus: int
+    local_bsz: int
+    accum_steps: int
+    iter_time: float
+
+    def __post_init__(self) -> None:
+        if self.iter_time <= 0:
+            raise ValueError("iter_time must be positive")
+        if self.num_gpus < self.num_nodes or self.num_nodes < 1:
+            raise ValueError("invalid allocation shape")
+        if self.local_bsz < 1 or self.accum_steps < 1:
+            raise ValueError("invalid batch plan")
+
+
+def _nonneg_linear_fit(xs: np.ndarray, ys: np.ndarray) -> tuple[float, float]:
+    """Least-squares fit ``y = a + b*x`` with both coefficients clamped >= 0."""
+    if len(xs) == 1:
+        # One point: attribute a small fixed share to the intercept.
+        y, x = float(ys[0]), float(xs[0])
+        if x <= 0:
+            return max(y, 0.0), 0.0
+        return 0.1 * y, 0.9 * y / x
+    design = np.stack([np.ones_like(xs, dtype=float), xs.astype(float)], axis=1)
+    coef, *_ = np.linalg.lstsq(design, ys.astype(float), rcond=None)
+    a, b = float(coef[0]), float(coef[1])
+    if a < 0 or b < 0:
+        # Clamp and re-fit the free coefficient for stability.
+        if b < 0:
+            return float(np.mean(ys)), 0.0
+        return 0.0, float(np.sum(xs * ys) / np.sum(xs * xs))
+    return a, b
+
+
+def fit_compute_params(observations: list[Observation]) -> tuple[float, float]:
+    """Fit (alpha_c, beta_c) from 1-GPU observations.
+
+    With one GPU there is no sync phase, so step time is
+    ``iter_time / accum_steps = alpha_c + beta_c * local_bsz``.  If the job
+    has never run on one GPU (possible for schedulers without a start-small
+    rule, e.g. Pollux), the smallest GPU count observed stands in — its step
+    times include some sync, so the compute estimate is conservative until
+    real 1-GPU data arrives.
+    """
+    if not observations:
+        raise ValueError("need at least one observation")
+    smallest = min(obs.num_gpus for obs in observations)
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for obs in observations:
+        if obs.num_gpus != smallest:
+            continue
+        step_time = obs.iter_time / obs.accum_steps
+        sums[obs.local_bsz] = sums.get(obs.local_bsz, 0.0) + step_time
+        counts[obs.local_bsz] = counts.get(obs.local_bsz, 0) + 1
+    xs = np.array(sorted(sums))
+    ys = np.array([sums[x] / counts[x] for x in xs])
+    return _nonneg_linear_fit(xs, ys)
+
+
+def invert_sync_time(iter_time: float, grad_time: float,
+                     accum_steps: int, gamma: float = GAMMA) -> float:
+    """Recover T_sync from a measured multi-GPU iteration time."""
+    overlapped = iter_time - (accum_steps - 1) * grad_time
+    if overlapped <= grad_time:
+        return 0.0
+    return (overlapped ** gamma - grad_time ** gamma) ** (1.0 / gamma)
+
+
+def fit_sync_params(points: list[tuple[int, float]]) -> tuple[float, float]:
+    """Fit (alpha, beta) of ``t_sync = alpha + beta * max(0, k - 2)``."""
+    if not points:
+        raise ValueError("need at least one sync observation")
+    xs = np.array([max(0, k - 2) for k, _ in points], dtype=float)
+    ys = np.array([t for _, t in points], dtype=float)
+    if len(set(xs.tolist())) == 1:
+        mean_t = float(np.mean(ys))
+        return mean_t, 0.05 * mean_t
+    return _nonneg_linear_fit(xs, ys)
+
+
+@dataclass
+class FitResult:
+    """Fitted parameters plus which phases were actually observed."""
+
+    params: ThroughputParams
+    has_single_gpu: bool
+    has_intra_node: bool  # multi-GPU, single-node observations seen
+    has_inter_node: bool  # multi-node observations seen
+
+    @property
+    def has_multi_gpu(self) -> bool:
+        return self.has_intra_node or self.has_inter_node
+
+
+def fit_throughput_params(observations: list[Observation],
+                          gamma: float = GAMMA) -> FitResult:
+    """Full fit for one GPU type from all observations on that type.
+
+    Unobserved sync regimes are extrapolated conservatively: missing
+    inter-node parameters reuse intra-node ones (scaled up) and vice versa;
+    with no sync observations at all both default to zero — callers are
+    expected to treat such models with the bootstrap/perfect-scaling logic
+    of Section 3.2 rather than trusting zero-cost communication.
+    """
+    if not observations:
+        raise ValueError("need at least one observation")
+    alpha_c, beta_c = fit_compute_params(observations)
+
+    intra_points: list[tuple[int, float]] = []
+    inter_points: list[tuple[int, float]] = []
+    for obs in observations:
+        if obs.num_gpus == 1:
+            continue
+        grad = alpha_c + beta_c * obs.local_bsz
+        sync = invert_sync_time(obs.iter_time, grad, obs.accum_steps, gamma)
+        target = intra_points if obs.num_nodes == 1 else inter_points
+        target.append((obs.num_gpus, sync))
+
+    alpha_r = beta_r = alpha_n = beta_n = 0.0
+    if intra_points:
+        alpha_r, beta_r = fit_sync_params(intra_points)
+    if inter_points:
+        alpha_n, beta_n = fit_sync_params(inter_points)
+    if intra_points and not inter_points:
+        # Crossing nodes is never cheaper than staying inside one.
+        alpha_n, beta_n = alpha_r * 3.0, beta_r * 3.0
+    elif inter_points and not intra_points:
+        alpha_r, beta_r = alpha_n / 3.0, beta_n / 3.0
+
+    params = ThroughputParams(alpha_c=alpha_c, beta_c=beta_c,
+                              alpha_r=alpha_r, beta_r=beta_r,
+                              alpha_n=alpha_n, beta_n=beta_n, gamma=gamma)
+    return FitResult(
+        params=params,
+        has_single_gpu=any(o.num_gpus == 1 for o in observations),
+        has_intra_node=bool(intra_points),
+        has_inter_node=bool(inter_points),
+    )

@@ -1,0 +1,137 @@
+"""Goodput model: throughput x statistical efficiency, with batch-size
+co-optimization (Sections 3.1-3.2).
+
+Given an allocation shape (GPU type, GPU count ``k``, node count ``n``), the
+Adaptive Executor picks the per-GPU batch size and gradient-accumulation
+steps maximizing goodput, subject to
+
+* the GPU type's memory limit on local batch size,
+* the submitter's ``max_bsz`` cap on total batch size,
+* a floor of the reference batch size ``M0`` (training below the submitted
+  batch size is never beneficial: efficiency is capped and throughput falls).
+
+Gradient accumulation lets memory-limited GPUs reach statistically-optimal
+total batch sizes (Section 3.1, "Heterogeneous Execution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.efficiency import EfficiencyModel
+from repro.perf.throughput import ThroughputModel
+
+#: Cap on gradient-accumulation sub-steps considered per iteration.
+MAX_ACCUM_STEPS: int = 16
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """An executable batch-size decision with its predicted rates."""
+
+    local_bsz: int
+    accum_steps: int
+    total_batch_size: int
+    throughput: float    # samples / second
+    efficiency: float    # effective samples per sample
+    goodput: float       # effective samples / second
+
+
+def candidate_local_sizes(lo: int, hi: int, *, max_candidates: int = 24) -> list[int]:
+    """A geometric grid of candidate local batch sizes in [lo, hi]."""
+    if lo < 1 or hi < lo:
+        return []
+    sizes: set[int] = {lo, hi}
+    value = float(lo)
+    ratio = (hi / lo) ** (1.0 / max(1, max_candidates - 1)) if hi > lo else 1.0
+    for _ in range(max_candidates):
+        sizes.add(int(round(value)))
+        value *= ratio
+        if value > hi:
+            break
+    return sorted(s for s in sizes if lo <= s <= hi)
+
+
+class GoodputModel:
+    """Combines one throughput model with the job's efficiency model."""
+
+    def __init__(self, throughput_model: ThroughputModel,
+                 efficiency_model: EfficiencyModel):
+        self.throughput_model = throughput_model
+        self.efficiency_model = efficiency_model
+
+    def evaluate(self, local_bsz: int, num_gpus: int, num_nodes: int,
+                 accum_steps: int = 1) -> BatchPlan:
+        """Predicted rates for one fully-specified execution plan."""
+        total = num_gpus * local_bsz * accum_steps
+        xput = self.throughput_model.throughput(
+            local_bsz, num_gpus, num_nodes, accum_steps)
+        eff = self.efficiency_model.efficiency(total)
+        return BatchPlan(local_bsz=local_bsz, accum_steps=accum_steps,
+                         total_batch_size=total, throughput=xput,
+                         efficiency=eff, goodput=xput * eff)
+
+    def optimize_batch_size(self, num_gpus: int, num_nodes: int, *,
+                            max_local_bsz: int,
+                            max_total_bsz: int,
+                            min_total_bsz: int | None = None,
+                            fixed_total_bsz: int | None = None) -> BatchPlan | None:
+        """Best batch plan for an allocation shape, or None if infeasible.
+
+        ``fixed_total_bsz`` implements strong-scaling/rigid jobs: the total
+        batch size is pinned and only its (local, accumulation) split is
+        optimized.
+        """
+        if num_gpus < 1 or max_local_bsz < 1:
+            return None
+        if fixed_total_bsz is not None:
+            return self._plan_fixed_total(num_gpus, num_nodes,
+                                          fixed_total_bsz, max_local_bsz)
+
+        floor_total = min_total_bsz or 1
+        if floor_total > max_total_bsz:
+            return None
+        best: BatchPlan | None = None
+        for accum in range(1, MAX_ACCUM_STEPS + 1):
+            # Local size must keep the total within [floor, cap].
+            lo = max(1, -(-floor_total // (num_gpus * accum)))  # ceil div
+            hi = min(max_local_bsz, max_total_bsz // (num_gpus * accum))
+            if hi < lo:
+                continue
+            for local in candidate_local_sizes(lo, hi):
+                plan = self.evaluate(local, num_gpus, num_nodes, accum)
+                if best is None or plan.goodput > best.goodput:
+                    best = plan
+            # Accumulation only helps when memory-limited; once the full
+            # range is reachable without accumulation there is no gain.
+            if accum == 1 and max_local_bsz * num_gpus >= max_total_bsz:
+                break
+        return best
+
+    def _plan_fixed_total(self, num_gpus: int, num_nodes: int,
+                          total: int, max_local_bsz: int) -> BatchPlan | None:
+        """Split a pinned total batch size into (local, accumulation)."""
+        if total < num_gpus:
+            return None  # cannot give every GPU at least one sample
+        best: BatchPlan | None = None
+        for accum in range(1, MAX_ACCUM_STEPS + 1):
+            local = total // (num_gpus * accum)
+            if local < 1:
+                break
+            if local > max_local_bsz:
+                continue
+            plan = self.evaluate(local, num_gpus, num_nodes, accum)
+            if best is None or plan.goodput > best.goodput:
+                best = plan
+        return best
+
+    def goodput(self, num_gpus: int, num_nodes: int, *,
+                max_local_bsz: int, max_total_bsz: int,
+                min_total_bsz: int | None = None,
+                fixed_total_bsz: int | None = None) -> float:
+        """Convenience: maximum achievable goodput for an allocation shape."""
+        plan = self.optimize_batch_size(
+            num_gpus, num_nodes, max_local_bsz=max_local_bsz,
+            max_total_bsz=max_total_bsz, min_total_bsz=min_total_bsz,
+            fixed_total_bsz=fixed_total_bsz)
+        return plan.goodput if plan is not None else 0.0

@@ -1,0 +1,160 @@
+"""Scheduler interface shared by Sia and all baselines.
+
+A scheduler sees, each round, one :class:`JobView` per active job — the
+job's static description plus its runtime state and its Goodput Estimator —
+and returns a :class:`RoundPlan`: concrete per-job allocations for the next
+round.  Each scheduler owns its placement logic (Sia uses the Placer rules
+of Section 3.1; Pollux packs virtual nodes; Gavel packs per-type), so the
+simulator only validates and applies the plan.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.core.types import Allocation, Configuration
+from repro.jobs.job import Job
+
+
+@dataclass
+class JobView:
+    """Everything a scheduler may know about one active job."""
+
+    job: Job
+    #: the job's goodput estimator (JobPerfEstimator or HybridPerfEstimator).
+    estimator: object
+    current_config: Configuration | None
+    #: seconds since the job first received resources (0 if never ran).
+    age: float
+    num_restarts: int
+    #: effective samples completed so far.
+    progress: float
+    #: simulation timestamp when the job first received resources.
+    first_start: float | None = None
+
+    @property
+    def job_id(self) -> str:
+        return self.job.job_id
+
+    @property
+    def remaining_fraction(self) -> float:
+        """Fraction of the job's work still to do, in [0, 1]."""
+        done = min(self.progress, self.job.target_samples)
+        return 1.0 - done / self.job.target_samples
+
+    @property
+    def is_running(self) -> bool:
+        return self.current_config is not None
+
+
+@dataclass
+class RoundPlan:
+    """One round's concrete resource plan."""
+
+    #: job id -> allocation (jobs absent receive no resources this round).
+    allocations: dict[str, Allocation] = field(default_factory=dict)
+    #: wall-clock seconds the policy optimization took (Figure 9).
+    solve_time: float = 0.0
+    #: solver objective, when meaningful.
+    objective: float | None = None
+
+    def validate(self, cluster: Cluster) -> None:
+        """Raise if the plan over-subscribes any node or mixes types."""
+        used: dict[int, int] = {}
+        sizes = {n.node_id: n.num_gpus for n in cluster.nodes}
+        types = {n.node_id: n.gpu_type for n in cluster.nodes}
+        for job_id, alloc in self.allocations.items():
+            for node_id, count in alloc.gpus_per_node:
+                if node_id not in sizes:
+                    raise ValueError(f"{job_id}: unknown node {node_id}")
+                if types[node_id] != alloc.gpu_type:
+                    raise ValueError(
+                        f"{job_id}: node {node_id} is {types[node_id]}, "
+                        f"allocation says {alloc.gpu_type}")
+                used[node_id] = used.get(node_id, 0) + count
+        for node_id, count in used.items():
+            if count > sizes[node_id]:
+                raise ValueError(
+                    f"node {node_id} over-subscribed: {count} > {sizes[node_id]}")
+
+
+class Scheduler(abc.ABC):
+    """Base class for round-based cluster schedulers."""
+
+    #: human-readable scheduler name for results tables.
+    name: str = "base"
+    #: seconds between scheduling rounds (60 for Sia/Pollux, 360 for the
+    #: rigid baselines — Section 4.3).
+    round_duration: float = 60.0
+    #: rigid baselines assume the (job, GPU type) throughput matrix is known
+    #: (Section 4.3 gives Gavel measured throughputs), so their estimators
+    #: run in Oracle mode regardless of the experiment's profiling mode.
+    oracle_estimators: bool = False
+
+    @abc.abstractmethod
+    def decide(self, views: list[JobView], cluster: Cluster,
+               previous: dict[str, Allocation], now: float) -> RoundPlan:
+        """Choose allocations for the next round."""
+
+    def make_estimator(self, job: Job, cluster: Cluster,
+                       profiling_mode) -> object:
+        """Create the goodput estimator this scheduler uses for ``job``.
+
+        The default builds the Sia-style per-GPU-type estimator (hybrid jobs
+        get their exact pre-profiled estimator); Pollux overrides this with
+        its type-blind estimator.
+        """
+        from repro.core.types import ProfilingMode
+        from repro.jobs.hybrid import HybridPerfEstimator
+        from repro.jobs.inference import (BatchInferenceEstimator,
+                                          LatencySLOEstimator)
+        from repro.perf.estimator import JobPerfEstimator
+
+        if job.is_hybrid:
+            return HybridPerfEstimator(job.model_name, job.hybrid)
+        mode = ProfilingMode.ORACLE if self.oracle_estimators else profiling_mode
+        if job.workload == "batch_inference":
+            return BatchInferenceEstimator(job.model_name, job.constraints(),
+                                           cluster.gpu_types, mode)
+        if job.workload == "latency_inference":
+            return LatencySLOEstimator(job.model_name, job.latency_slo,
+                                       cluster.gpu_types)
+        return JobPerfEstimator(job.model_name, job.constraints(),
+                                cluster.gpu_types, mode)
+
+    def describe(self) -> str:
+        return f"{self.name} (round={self.round_duration:.0f}s)"
+
+
+def pack_gpus_on_type(cluster: Cluster, gpu_type: str, count: int,
+                      occupancy: dict[int, int],
+                      preferred_nodes: tuple[int, ...] = ()) -> Allocation | None:
+    """Shared helper: pack ``count`` GPUs of a type onto nodes, first-fit
+    decreasing free capacity, allowing node-spanning (used by baselines that
+    do not follow Sia's placement rules).  ``occupancy`` maps node id ->
+    GPUs already used and is updated in place on success."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    nodes = sorted(
+        cluster.nodes_of_type(gpu_type),
+        key=lambda n: (n.node_id not in preferred_nodes,
+                       -(n.num_gpus - occupancy.get(n.node_id, 0)),
+                       n.node_id))
+    taken: dict[int, int] = {}
+    remaining = count
+    for node in nodes:
+        free = node.num_gpus - occupancy.get(node.node_id, 0)
+        if free <= 0:
+            continue
+        grab = min(free, remaining)
+        taken[node.node_id] = grab
+        remaining -= grab
+        if remaining == 0:
+            break
+    if remaining > 0:
+        return None
+    for node_id, grab in taken.items():
+        occupancy[node_id] = occupancy.get(node_id, 0) + grab
+    return Allocation.build(gpu_type, taken)

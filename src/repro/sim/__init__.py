@@ -1,0 +1,11 @@
+"""Discrete-time trace-driven cluster simulator."""
+
+from repro.sim.engine import Simulator, SimulatorConfig, simulate
+from repro.sim.executor import ExecutionModel, RoundExecution
+from repro.sim.telemetry import JobRecord, RoundRecord, SimulationResult
+
+__all__ = [
+    "Simulator", "SimulatorConfig", "simulate",
+    "ExecutionModel", "RoundExecution",
+    "JobRecord", "RoundRecord", "SimulationResult",
+]

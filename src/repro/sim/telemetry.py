@@ -1,0 +1,119 @@
+"""Telemetry: per-job and per-round records produced by the simulator.
+
+These records are the single source every metric and every table/figure in
+the benchmark harness is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JobRecord:
+    """Final accounting for one job."""
+
+    job_id: str
+    model_name: str
+    category: str
+    adaptivity: str
+    submit_time: float
+    first_start: float | None
+    finish_time: float | None
+    num_restarts: int
+    #: GPU-seconds actually held, per GPU type (includes restore delays).
+    gpu_seconds: dict[str, float] = field(default_factory=dict)
+    profiling_gpu_seconds: float = 0.0
+    #: average number of active jobs while this job was in the system.
+    avg_contention: float = 0.0
+    target_samples: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+    def jct(self, horizon: float | None = None) -> float:
+        """Job completion time in seconds; censored jobs report time until
+        ``horizon`` (the simulation end)."""
+        end = self.finish_time if self.finish_time is not None else horizon
+        if end is None:
+            raise ValueError(f"job {self.job_id} incomplete and no horizon given")
+        return end - self.submit_time
+
+    @property
+    def total_gpu_seconds(self) -> float:
+        return sum(self.gpu_seconds.values()) + self.profiling_gpu_seconds
+
+
+@dataclass
+class RoundRecord:
+    """Snapshot of one scheduling round."""
+
+    time: float
+    #: jobs active (queued or running) when the round was planned.
+    active_jobs: int
+    #: jobs actually holding GPUs this round.
+    running_jobs: int
+    #: policy optimization wall-clock seconds (Figure 9).
+    solve_time: float
+    #: job id -> (gpu_type, num_gpus) for the allocation log (Figure 5).
+    allocations: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: GPUs in use per type.
+    gpus_used: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    scheduler_name: str
+    cluster_description: str
+    jobs: list[JobRecord] = field(default_factory=list)
+    rounds: list[RoundRecord] = field(default_factory=list)
+    end_time: float = 0.0
+    #: jobs that did not finish before the simulation cap.
+    censored: int = 0
+    #: injected worker failures that occurred during the run.
+    node_failures: int = 0
+
+    def job(self, job_id: str) -> JobRecord:
+        for record in self.jobs:
+            if record.job_id == job_id:
+                return record
+        raise KeyError(f"no job record for {job_id!r}")
+
+    @property
+    def completed_jobs(self) -> list[JobRecord]:
+        return [j for j in self.jobs if j.completed]
+
+    def jcts_hours(self) -> list[float]:
+        """JCT of every job, hours (censored jobs measured to the end cap)."""
+        return [j.jct(self.end_time) / 3600.0 for j in self.jobs]
+
+    @property
+    def makespan_hours(self) -> float:
+        """Last finish minus first submission, hours."""
+        if not self.jobs:
+            return 0.0
+        start = min(j.submit_time for j in self.jobs)
+        end = max((j.finish_time if j.finish_time is not None else self.end_time)
+                  for j in self.jobs)
+        return (end - start) / 3600.0
+
+    def gpu_hours_per_job(self) -> list[float]:
+        return [j.total_gpu_seconds / 3600.0 for j in self.jobs]
+
+    def allocation_timeline(self, job_id: str) -> list[tuple[float, str, int]]:
+        """(time, gpu_type, num_gpus) per round for one job (Figure 5);
+        rounds where the job held nothing are reported as ('', 0)."""
+        timeline = []
+        for rnd in self.rounds:
+            gpu_type, count = rnd.allocations.get(job_id, ("", 0))
+            timeline.append((rnd.time, gpu_type, count))
+        return timeline
+
+    def median_solve_time(self) -> float:
+        times = sorted(r.solve_time for r in self.rounds if r.active_jobs > 0)
+        if not times:
+            return 0.0
+        return times[len(times) // 2]

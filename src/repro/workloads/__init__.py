@@ -1,0 +1,15 @@
+"""Workload generators: Philly/Helios/newTrace families and TunedJobs."""
+
+from repro.workloads.generators import (HELIOS, NEWTRACE, PHILLY, SPECS,
+                                        helios_trace, newtrace_trace,
+                                        philly_trace, trace_by_name)
+from repro.workloads.trace import (Trace, TraceSpec, generate_trace,
+                                   with_adaptivity_mix)
+from repro.workloads.tuning import EFFICIENCY_BAND, tune_job, tuned_jobs
+
+__all__ = [
+    "HELIOS", "NEWTRACE", "PHILLY", "SPECS",
+    "helios_trace", "newtrace_trace", "philly_trace", "trace_by_name",
+    "Trace", "TraceSpec", "generate_trace", "with_adaptivity_mix",
+    "EFFICIENCY_BAND", "tune_job", "tuned_jobs",
+]

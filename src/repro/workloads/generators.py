@@ -1,0 +1,79 @@
+"""The three workload families of Section 4.1: Philly, Helios, newTrace.
+
+Category mixes follow the published characterizations: Philly is dominated
+by short jobs; Helios jobs "request more GPUs and run for longer, resulting
+in a higher cluster load"; newTrace runs 48 hours with diurnal bursts of
+5-100 jobs/hr from submission scripts (hyper-parameter sweeps).
+"""
+
+from __future__ import annotations
+
+from repro.core.types import AdaptivityMode
+from repro.workloads.trace import Trace, TraceSpec, generate_trace
+
+PHILLY = TraceSpec(
+    name="philly",
+    category_mix={"S": 0.72, "M": 0.20, "L": 0.06, "XL": 0.02},
+    arrival_rate_per_hour=20.0,
+    window_hours=8.0,
+)
+
+HELIOS = TraceSpec(
+    name="helios",
+    category_mix={"S": 0.60, "M": 0.25, "L": 0.10, "XL": 0.05},
+    arrival_rate_per_hour=20.0,
+    window_hours=8.0,
+)
+
+NEWTRACE = TraceSpec(
+    name="newtrace",
+    category_mix={"S": 0.55, "M": 0.27, "L": 0.13, "XL": 0.05},
+    arrival_rate_per_hour=20.0,
+    window_hours=48.0,
+    diurnal_amplitude=0.8,
+    burst_probability=0.05,
+)
+
+SPECS = {"philly": PHILLY, "helios": HELIOS, "newtrace": NEWTRACE}
+
+
+def philly_trace(seed: int = 0, *, num_jobs: int | None = None,
+                 work_scale_factor: float = 1.0,
+                 window_hours: float | None = None,
+                 adaptivity: AdaptivityMode = AdaptivityMode.ADAPTIVE) -> Trace:
+    """One sampled Philly-like trace (default 160 jobs over 8 h)."""
+    return generate_trace(PHILLY, seed=seed, num_jobs=num_jobs,
+                          work_scale_factor=work_scale_factor,
+                          window_hours=window_hours,
+                          adaptivity=adaptivity)
+
+
+def helios_trace(seed: int = 0, *, num_jobs: int | None = None,
+                 work_scale_factor: float = 1.0,
+                 window_hours: float | None = None,
+                 adaptivity: AdaptivityMode = AdaptivityMode.ADAPTIVE) -> Trace:
+    """One sampled Helios-like trace (default 160 jobs over 8 h)."""
+    return generate_trace(HELIOS, seed=seed, num_jobs=num_jobs,
+                          work_scale_factor=work_scale_factor,
+                          window_hours=window_hours,
+                          adaptivity=adaptivity)
+
+
+def newtrace_trace(seed: int = 0, *, num_jobs: int | None = None,
+                   work_scale_factor: float = 1.0,
+                   window_hours: float | None = None,
+                   adaptivity: AdaptivityMode = AdaptivityMode.ADAPTIVE) -> Trace:
+    """One sampled newTrace-like trace (default 960 jobs over 48 h)."""
+    return generate_trace(NEWTRACE, seed=seed, num_jobs=num_jobs,
+                          work_scale_factor=work_scale_factor,
+                          window_hours=window_hours,
+                          adaptivity=adaptivity)
+
+
+def trace_by_name(name: str, seed: int = 0, **kwargs) -> Trace:
+    try:
+        spec = SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(SPECS))
+        raise KeyError(f"unknown trace {name!r}; known traces: {known}") from None
+    return generate_trace(spec, seed=seed, **kwargs)

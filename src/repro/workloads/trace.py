@@ -1,0 +1,187 @@
+"""Trace machinery: category sampling, arrival processes, adaptivity mixes.
+
+The paper derives workloads from three production traces by bucketing jobs
+into total-GPU-time categories (S: 0-1 h, M: 1-10 h, L: 10-100 h, XL:
+>100 h) and mapping each category to representative Table 2 models
+(Section 4.1).  We reproduce that pipeline with seeded synthetic sampling:
+a category mix, a Poisson (optionally diurnal/bursty) arrival process, and
+per-job work-scale jitter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.types import AdaptivityMode
+from repro.jobs.job import Job, make_job
+from repro.perf.profiles import CATEGORY_MODELS
+
+#: max-GPU declarations by category (submitters of bigger jobs ask for more).
+_MAX_GPUS_BY_CATEGORY = {"S": 8, "M": 16, "L": 16, "XL": 16, "XXL": 64}
+
+
+@dataclass
+class TraceSpec:
+    """Parameters of one synthetic trace family."""
+
+    name: str
+    #: category -> probability (must sum to 1).
+    category_mix: dict[str, float]
+    #: average arrivals per hour.
+    arrival_rate_per_hour: float = 20.0
+    #: job-submission window, hours.
+    window_hours: float = 8.0
+    #: lognormal sigma of per-job work-scale jitter.
+    work_sigma: float = 0.4
+    #: diurnal modulation amplitude in [0, 1); 0 = plain Poisson.
+    diurnal_amplitude: float = 0.0
+    #: probability an arrival triggers a submission-script burst.
+    burst_probability: float = 0.0
+    #: burst size range (inclusive).
+    burst_size: tuple[int, int] = (4, 12)
+
+    def __post_init__(self) -> None:
+        total = sum(self.category_mix.values())
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"category mix must sum to 1, got {total}")
+        unknown = set(self.category_mix) - set(CATEGORY_MODELS)
+        if unknown:
+            raise ValueError(f"unknown categories: {sorted(unknown)}")
+
+
+@dataclass
+class Trace:
+    """A concrete sampled trace."""
+
+    name: str
+    jobs: list[Job] = field(default_factory=list)
+    seed: int = 0
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    def models_used(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job in self.jobs:
+            counts[job.model_name] = counts.get(job.model_name, 0) + 1
+        return counts
+
+
+def _arrival_times(spec: TraceSpec, rng: np.random.Generator,
+                   num_jobs: int | None) -> list[float]:
+    """Sample arrival timestamps (seconds) over the submission window."""
+    window_s = spec.window_hours * 3600.0
+    if num_jobs is None:
+        num_jobs = int(round(spec.arrival_rate_per_hour * spec.window_hours))
+    times: list[float] = []
+    while len(times) < num_jobs:
+        t = float(rng.uniform(0.0, window_s))
+        if spec.diurnal_amplitude > 0.0:
+            # Thinning: accept proportionally to the diurnal intensity.
+            hours = t / 3600.0
+            intensity = 1.0 + spec.diurnal_amplitude * math.sin(
+                2.0 * math.pi * hours / 24.0)
+            if rng.uniform(0.0, 1.0 + spec.diurnal_amplitude) > intensity:
+                continue
+        times.append(t)
+        if spec.burst_probability > 0.0 \
+                and rng.uniform() < spec.burst_probability:
+            size = int(rng.integers(spec.burst_size[0], spec.burst_size[1] + 1))
+            for _ in range(size):
+                if len(times) >= num_jobs:
+                    break
+                times.append(min(window_s, t + float(rng.uniform(0.0, 300.0))))
+    times.sort()
+    return times[:num_jobs]
+
+
+def generate_trace(spec: TraceSpec, *, seed: int = 0,
+                   num_jobs: int | None = None,
+                   work_scale_factor: float = 1.0,
+                   window_hours: float | None = None,
+                   adaptivity: AdaptivityMode = AdaptivityMode.ADAPTIVE) -> Trace:
+    """Sample one trace from a spec.
+
+    ``work_scale_factor`` uniformly shrinks/stretches all jobs (benchmarks
+    use < 1 to keep simulated horizons short while preserving relative job
+    sizes); pair it with a proportionally smaller ``window_hours`` to keep
+    the cluster-load profile (contention) of the full-scale trace.
+    Non-adaptive traces still need tuned batch/GPU settings; use
+    :mod:`repro.workloads.tuning` on the result for rigid baselines.
+    """
+    if work_scale_factor <= 0:
+        raise ValueError("work_scale_factor must be positive")
+    if window_hours is not None:
+        if window_hours <= 0:
+            raise ValueError("window_hours must be positive")
+        spec = replace(spec, window_hours=window_hours)
+    rng = np.random.default_rng(seed)
+    times = _arrival_times(spec, rng, num_jobs)
+    categories = list(spec.category_mix)
+    probabilities = [spec.category_mix[c] for c in categories]
+
+    jobs: list[Job] = []
+    for index, submit in enumerate(times):
+        category = categories[int(rng.choice(len(categories), p=probabilities))]
+        models = CATEGORY_MODELS[category]
+        model = models[int(rng.integers(0, len(models)))]
+        jitter = float(np.exp(rng.normal(0.0, spec.work_sigma)))
+        jitter = min(3.0, max(0.3, jitter))
+        jobs.append(make_job(
+            job_id=f"{spec.name}-{seed}-{index:04d}",
+            model_name=model,
+            submit_time=submit,
+            adaptivity=adaptivity,
+            work_scale=jitter * work_scale_factor,
+            max_gpus=_MAX_GPUS_BY_CATEGORY[category],
+        ))
+    return Trace(name=f"{spec.name}-{seed}", jobs=jobs, seed=seed)
+
+
+def with_adaptivity_mix(jobs: list[Job], *, strong_fraction: float = 0.0,
+                        rigid_fraction: float = 0.0,
+                        seed: int = 0) -> list[Job]:
+    """Return a copy of a job list with some jobs demoted to strong-scaling
+    or rigid adaptivity (Figure 11).  Fractions must sum to <= 1; demoted
+    jobs pin their batch size (and, for rigid, a 1..4 GPU count)."""
+    if strong_fraction < 0 or rigid_fraction < 0 \
+            or strong_fraction + rigid_fraction > 1:
+        raise ValueError("invalid adaptivity fractions")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(jobs))
+    n_strong = int(round(strong_fraction * len(jobs)))
+    n_rigid = int(round(rigid_fraction * len(jobs)))
+    strong_ids = {jobs[i].job_id for i in order[:n_strong]}
+    rigid_ids = {jobs[i].job_id for i in order[n_strong:n_strong + n_rigid]}
+
+    out: list[Job] = []
+    for job in jobs:
+        if job.job_id in strong_ids:
+            out.append(make_job(
+                job.job_id, job.model_name, job.submit_time,
+                adaptivity=AdaptivityMode.STRONG_SCALING,
+                work_scale=1.0, max_gpus=job.max_gpus,
+                fixed_batch_size=_tuned_batch(job, rng)))
+            out[-1].target_samples = job.target_samples
+        elif job.job_id in rigid_ids:
+            out.append(make_job(
+                job.job_id, job.model_name, job.submit_time,
+                adaptivity=AdaptivityMode.RIGID,
+                work_scale=1.0, max_gpus=job.max_gpus,
+                fixed_batch_size=_tuned_batch(job, rng),
+                fixed_num_gpus=int(2 ** rng.integers(0, 3))))
+            out[-1].target_samples = job.target_samples
+        else:
+            out.append(job)
+    return out
+
+
+def _tuned_batch(job: Job, rng: np.random.Generator) -> int:
+    """A plausible user-chosen batch size: 1-4x the reference size, capped."""
+    profile = job.profile
+    factor = int(2 ** rng.integers(0, 3))
+    return min(profile.max_bsz, profile.min_bsz * factor)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeGroup
+
+
+@pytest.fixture
+def hetero_cluster() -> Cluster:
+    """The paper's 64-GPU heterogeneous testbed."""
+    return presets.heterogeneous()
+
+
+@pytest.fixture
+def homo_cluster() -> Cluster:
+    """The paper's 64-GPU homogeneous (16x t4) testbed."""
+    return presets.homogeneous()
+
+
+@pytest.fixture
+def tiny_cluster() -> Cluster:
+    """The running example of Section 3.4: 1 node x 2 A GPUs + 1 node x 4 B
+    GPUs (we use quad for A and t4 for B)."""
+    return Cluster.from_groups([
+        NodeGroup("quad", num_nodes=1, gpus_per_node=2),
+        NodeGroup("t4", num_nodes=1, gpus_per_node=4),
+    ])

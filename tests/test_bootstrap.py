@@ -1,0 +1,56 @@
+"""Tests for Equation (1) cross-GPU-type bootstrapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bootstrap import (bootstrap_ratio, bootstrap_throughput,
+                                  pick_reference_type)
+
+
+class TestRatio:
+    def test_ratio(self):
+        assert bootstrap_ratio(20.0, 10.0) == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bootstrap_ratio(0.0, 10.0)
+        with pytest.raises(ValueError):
+            bootstrap_ratio(10.0, 0.0)
+
+
+class TestEquation1:
+    def test_paper_formula(self):
+        """est_xput_B(N) = xput_B(1)/xput_A(1) * xput_A(N)."""
+        assert bootstrap_throughput(30.0, 10.0, 80.0) == pytest.approx(240.0)
+
+    def test_identity_when_types_equal(self):
+        assert bootstrap_throughput(10.0, 10.0, 55.0) == pytest.approx(55.0)
+
+    def test_rejects_negative_reference(self):
+        with pytest.raises(ValueError):
+            bootstrap_throughput(10.0, 10.0, -1.0)
+
+    @given(b1=st.floats(0.1, 1e3), a1=st.floats(0.1, 1e3),
+           an=st.floats(0.0, 1e5))
+    def test_scales_linearly_in_reference(self, b1, a1, an):
+        single = bootstrap_throughput(b1, a1, an)
+        double = bootstrap_throughput(b1, a1, 2 * an)
+        assert double == pytest.approx(2 * single, rel=1e-9)
+
+
+class TestPickReference:
+    def test_prefers_fastest_experienced_type(self):
+        experience = {"t4": True, "rtx": True, "a100": False}
+        singles = {"t4": 10.0, "rtx": 25.0, "a100": 70.0}
+        assert pick_reference_type(experience, singles) == "rtx"
+
+    def test_none_when_no_experience(self):
+        assert pick_reference_type({"t4": False}, {"t4": 10.0}) is None
+
+    def test_none_when_experienced_type_has_no_single_profile(self):
+        assert pick_reference_type({"t4": True}, {}) is None
+
+    def test_ignores_types_missing_singles(self):
+        experience = {"t4": True, "rtx": True}
+        singles = {"t4": 10.0}
+        assert pick_reference_type(experience, singles) == "t4"

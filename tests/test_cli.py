@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import io
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheduler == "sia"
+        assert args.cluster == "heterogeneous"
+        assert args.p == -0.5
+
+    def test_unknown_trace_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--trace-name", "borealis"])
+
+
+class TestCatalog:
+    def test_prints_models_and_gpus(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        for token in ("resnet18", "gpt-2.8b", "a100", "Model zoo"):
+            assert token in out
+
+
+class TestTrace:
+    def test_trace_summary(self, capsys):
+        assert main(["trace", "--trace-name", "philly", "--seed", "1",
+                     "--num-jobs", "12"]) == 0
+        assert "12 jobs" in capsys.readouterr().out
+
+    def test_trace_saved_and_reusable(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--trace-name", "helios", "--num-jobs", "6",
+                     "--out", str(out)]) == 0
+        trace = io.load_trace(out)
+        assert trace.num_jobs == 6
+
+
+class TestRun:
+    def test_run_sia_and_save(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(["run", "--scheduler", "sia", "--trace-name", "philly",
+                     "--num-jobs", "6", "--work-scale", "0.05",
+                     "--window-hours", "0.25", "--out", str(out)])
+        assert code == 0
+        assert "avg_jct_h" in capsys.readouterr().out
+        result = io.load_result(out)
+        assert result.scheduler_name == "sia"
+        assert len(result.jobs) == 6
+
+    def test_run_from_saved_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main(["trace", "--trace-name", "philly", "--num-jobs", "5",
+              "--work-scale", "0.05", "--window-hours", "0.25",
+              "--out", str(trace_path)])
+        capsys.readouterr()
+        assert main(["run", "--scheduler", "gavel",
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "gavel" in out
+
+    def test_unknown_scheduler_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scheduler", "warp", "--trace-name", "philly",
+                  "--num-jobs", "4"])
+
+    def test_run_with_failures(self, capsys):
+        code = main(["run", "--scheduler", "sia", "--trace-name", "philly",
+                     "--num-jobs", "4", "--work-scale", "0.05",
+                     "--window-hours", "0.25", "--failure-rate", "2.0"])
+        assert code == 0
+
+
+class TestCompare:
+    def test_compare_three_schedulers(self, capsys):
+        code = main(["compare", "--schedulers", "sia,gavel,fifo",
+                     "--trace-name", "philly", "--num-jobs", "8",
+                     "--work-scale", "0.05", "--window-hours", "0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("sia", "gavel", "fifo"):
+            assert name in out

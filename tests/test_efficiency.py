@@ -1,0 +1,75 @@
+"""Tests for the statistical-efficiency model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.perf.efficiency import EfficiencyModel, EfficiencyParams
+
+
+@pytest.fixture
+def model() -> EfficiencyModel:
+    return EfficiencyModel(EfficiencyParams(grad_noise_scale=100.0,
+                                            init_batch_size=32))
+
+
+class TestEfficiency:
+    def test_unity_at_reference_batch(self, model):
+        assert model.efficiency(32) == pytest.approx(1.0)
+
+    def test_decreases_with_batch(self, model):
+        assert model.efficiency(64) < model.efficiency(32)
+        assert model.efficiency(1024) < model.efficiency(64)
+
+    def test_above_unity_below_reference(self, model):
+        assert model.efficiency(16) > 1.0
+
+    def test_large_noise_scale_tolerates_large_batches(self):
+        tolerant = EfficiencyModel(EfficiencyParams(8000.0, 32))
+        strict = EfficiencyModel(EfficiencyParams(50.0, 32))
+        assert tolerant.efficiency(1024) > strict.efficiency(1024)
+
+    def test_rejects_nonpositive_batch(self, model):
+        with pytest.raises(ValueError):
+            model.efficiency(0)
+
+    @given(m=st.floats(min_value=1, max_value=1e6))
+    def test_always_positive(self, m):
+        model = EfficiencyModel(EfficiencyParams(100.0, 32))
+        assert model.efficiency(m) > 0
+
+    @given(m1=st.integers(1, 10_000), m2=st.integers(1, 10_000))
+    def test_monotone_decreasing(self, m1, m2):
+        model = EfficiencyModel(EfficiencyParams(100.0, 32))
+        lo, hi = sorted((m1, m2))
+        assert model.efficiency(lo) >= model.efficiency(hi)
+
+
+class TestOnlineUpdate:
+    def test_update_moves_toward_observation(self, model):
+        model.update_noise_scale(200.0, smoothing=0.5)
+        assert model.params.grad_noise_scale == pytest.approx(150.0)
+
+    def test_high_smoothing_dampens_outliers(self, model):
+        before = model.params.grad_noise_scale
+        model.update_noise_scale(1e6, smoothing=0.99)
+        moved = model.params.grad_noise_scale - before
+        # The outlier contributes only its (1 - smoothing) share.
+        assert moved == pytest.approx(0.01 * (1e6 - before), rel=1e-6)
+
+    def test_rejects_nonpositive_observation(self, model):
+        with pytest.raises(ValueError):
+            model.update_noise_scale(0.0)
+
+    def test_rejects_bad_smoothing(self, model):
+        with pytest.raises(ValueError):
+            model.update_noise_scale(10.0, smoothing=1.5)
+
+
+class TestParams:
+    def test_rejects_nonpositive_noise_scale(self):
+        with pytest.raises(ValueError):
+            EfficiencyParams(0.0, 32)
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            EfficiencyParams(10.0, 0)

@@ -1,0 +1,179 @@
+"""Tests for the per-job Goodput Estimator: profiling modes, bootstrapping
+lifecycle (Section 3.2), caching."""
+
+import pytest
+
+from repro.core.types import Configuration, ProfilingMode
+from repro.perf import profiles
+from repro.perf.estimator import JobConstraints, JobPerfEstimator
+from repro.perf.fitting import Observation
+from repro.perf.throughput import ThroughputModel
+
+TYPES = ("t4", "rtx", "a100")
+
+
+def make_estimator(mode=ProfilingMode.BOOTSTRAP, model="bert"):
+    profile = profiles.model_profile(model)
+    constraints = JobConstraints(min_bsz=profile.min_bsz,
+                                 max_bsz=profile.max_bsz)
+    return JobPerfEstimator(model, constraints, TYPES, mode)
+
+
+def true_observation(model, gpu_type, n, k, m, s=1) -> Observation:
+    true_model = ThroughputModel(profiles.true_throughput_params(model, gpu_type))
+    return Observation(gpu_type=gpu_type, num_nodes=n, num_gpus=k,
+                       local_bsz=m, accum_steps=s,
+                       iter_time=true_model.iter_time(m, k, n, s))
+
+
+class TestProfiling:
+    def test_bootstrap_profiles_all_types(self):
+        est = make_estimator()
+        cost = est.profile_initial()
+        assert cost > 0
+        assert est.profiling_gpu_seconds == cost
+        for t in TYPES:
+            assert est.has_profile(t)
+
+    def test_bootstrap_cost_is_small(self):
+        """Section 3.2: < 20 GPU-seconds per GPU type on average."""
+        est = make_estimator(model="resnet18")
+        cost = est.profile_initial()
+        assert cost < 20 * len(TYPES)
+
+    def test_oracle_profiles_nothing(self):
+        est = make_estimator(ProfilingMode.ORACLE)
+        assert est.profile_initial() == 0.0
+        assert not est.has_profile("t4")
+
+    def test_no_prof_profiles_nothing(self):
+        est = make_estimator(ProfilingMode.NO_PROF)
+        assert est.profile_initial() == 0.0
+
+
+class TestThroughputDispatch:
+    def test_oracle_matches_truth(self):
+        est = make_estimator(ProfilingMode.ORACLE)
+        true_model = ThroughputModel(
+            profiles.true_throughput_params("bert", "a100"))
+        assert est.throughput("a100", 16, 8, 1) == pytest.approx(
+            true_model.throughput(16, 8, 1))
+
+    def test_single_gpu_fit_matches_truth_after_profiling(self):
+        est = make_estimator()
+        est.profile_initial()
+        true_model = ThroughputModel(
+            profiles.true_throughput_params("bert", "rtx"))
+        assert est.throughput("rtx", 16, 1, 1) == pytest.approx(
+            true_model.throughput(16, 1, 1), rel=0.05)
+
+    def test_perfect_scaling_before_any_multi_gpu_run(self):
+        """Section 3.2: with no multi-GPU experience anywhere, throughput of
+        N replicas is assumed N x the single-replica rate."""
+        est = make_estimator()
+        est.profile_initial()
+        single = est.throughput("t4", 16, 1, 1)
+        assert est.throughput("t4", 16, 4, 1) == pytest.approx(4 * single,
+                                                               rel=0.05)
+
+    def test_bootstrap_after_multi_gpu_on_reference_type(self):
+        """Once the job ran multi-GPU on A, estimates for B come from
+        Equation (1) — below perfect scaling because A's sync cost leaks in."""
+        est = make_estimator()
+        est.profile_initial()
+        for k in (2, 4):
+            est.add_observation(true_observation("bert", "rtx", 1, k, 16))
+        assert est.has_multi_gpu_experience("rtx")
+        single_t4 = est.throughput("t4", 16, 1, 1)
+        est_t4_multi = est.throughput("t4", 16, 4, 1)
+        assert est_t4_multi < 4 * single_t4  # no longer perfect scaling
+        assert est_t4_multi > single_t4
+
+    def test_own_experience_overrides_bootstrap(self):
+        est = make_estimator()
+        est.profile_initial()
+        for k in (2, 4):
+            est.add_observation(true_observation("bert", "rtx", 1, k, 16))
+            est.add_observation(true_observation("bert", "t4", 1, k, 16))
+        truth = ThroughputModel(profiles.true_throughput_params("bert", "t4"))
+        assert est.throughput("t4", 16, 4, 1) == pytest.approx(
+            truth.throughput(16, 4, 1), rel=0.05)
+
+    def test_no_prof_cold_start_is_type_blind(self):
+        est = make_estimator(ProfilingMode.NO_PROF)
+        assert est.throughput("t4", 16, 1, 1) == \
+            est.throughput("a100", 16, 1, 1)
+
+    def test_unknown_type_observation_rejected(self):
+        est = make_estimator()
+        with pytest.raises(KeyError):
+            est.add_observation(true_observation("bert", "quad", 1, 1, 16))
+
+
+class TestGoodput:
+    def test_goodput_positive_after_profiling(self):
+        est = make_estimator()
+        est.profile_initial()
+        for config in (Configuration(1, 1, "t4"), Configuration(1, 8, "a100")):
+            assert est.goodput(config) > 0
+
+    def test_goodput_zero_when_model_does_not_fit(self):
+        est = make_estimator(model="gpt-2.8b")
+        est.profile_initial()
+        assert est.goodput(Configuration(1, 1, "a100")) == 0.0
+
+    def test_a100_beats_t4_for_bert(self):
+        est = make_estimator()
+        est.profile_initial()
+        assert est.goodput(Configuration(1, 1, "a100")) > \
+            3 * est.goodput(Configuration(1, 1, "t4"))
+
+    def test_fixed_batch_constraint_respected(self):
+        profile = profiles.model_profile("bert")
+        constraints = JobConstraints(min_bsz=profile.min_bsz,
+                                     max_bsz=profile.max_bsz,
+                                     fixed_total_bsz=48)
+        est = JobPerfEstimator("bert", constraints, TYPES)
+        est.profile_initial()
+        plan = est.best_plan(Configuration(1, 2, "a100"))
+        assert plan is not None
+        assert plan.total_batch_size <= 48
+
+    def test_goodput_cache_invalidated_by_observation(self):
+        est = make_estimator()
+        est.profile_initial()
+        config = Configuration(1, 4, "rtx")
+        before = est.goodput(config)
+        for k in (2, 4):
+            est.add_observation(true_observation("bert", "rtx", 1, k, 16))
+        after = est.goodput(config)
+        assert after != before  # sync costs now modeled
+
+    def test_gradient_stats_update_changes_efficiency(self):
+        est = make_estimator(ProfilingMode.NO_PROF)
+        est.add_observation(true_observation("bert", "a100", 1, 1, 16))
+        before = est.efficiency_model.params.grad_noise_scale
+        true_phi = profiles.true_efficiency_params("bert").grad_noise_scale
+        est.update_gradient_stats(true_phi)
+        assert est.efficiency_model.params.grad_noise_scale > before
+
+    def test_noop_gradient_update_keeps_cache(self):
+        est = make_estimator()  # bootstrap: phi already true
+        est.profile_initial()
+        config = Configuration(1, 2, "a100")
+        before = est.goodput(config)
+        true_phi = profiles.true_efficiency_params("bert").grad_noise_scale
+        est.update_gradient_stats(true_phi)
+        assert est.goodput(config) == before
+
+
+class TestMemoryKnowledge:
+    def test_max_local_bsz_capped_by_job_max(self):
+        profile = profiles.model_profile("resnet18")
+        constraints = JobConstraints(min_bsz=profile.min_bsz, max_bsz=256)
+        est = JobPerfEstimator("resnet18", constraints, TYPES)
+        assert est.max_local_bsz("a100") == 256
+
+    def test_max_local_bsz_follows_memory(self):
+        est = make_estimator()
+        assert est.max_local_bsz("a100") > est.max_local_bsz("rtx")

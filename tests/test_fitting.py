@@ -1,0 +1,154 @@
+"""Tests for online throughput-model fitting: fitted parameters must recover
+synthetic ground truth from the measurements the simulator produces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.fitting import (Observation, fit_compute_params,
+                                fit_sync_params, fit_throughput_params,
+                                invert_sync_time)
+from repro.perf.throughput import ThroughputModel, ThroughputParams
+
+TRUE = ThroughputParams(alpha_c=0.02, beta_c=0.003,
+                        alpha_r=0.015, beta_r=0.002,
+                        alpha_n=0.09, beta_n=0.01)
+TRUE_MODEL = ThroughputModel(TRUE)
+
+
+def obs(gpu_type="t4", n=1, k=1, m=32, s=1) -> Observation:
+    return Observation(gpu_type=gpu_type, num_nodes=n, num_gpus=k,
+                       local_bsz=m, accum_steps=s,
+                       iter_time=TRUE_MODEL.iter_time(m, k, n, s))
+
+
+class TestObservation:
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            Observation("t4", 1, 1, 32, 1, 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Observation("t4", 4, 2, 32, 1, 1.0)
+
+    def test_rejects_bad_plan(self):
+        with pytest.raises(ValueError):
+            Observation("t4", 1, 1, 0, 1, 1.0)
+
+
+class TestComputeFit:
+    def test_recovers_linear_params(self):
+        observations = [obs(m=m) for m in (8, 16, 32, 64, 128)]
+        alpha, beta = fit_compute_params(observations)
+        assert alpha == pytest.approx(TRUE.alpha_c, rel=1e-6)
+        assert beta == pytest.approx(TRUE.beta_c, rel=1e-6)
+
+    def test_single_point_heuristic_split(self):
+        alpha, beta = fit_compute_params([obs(m=100)])
+        total = TRUE_MODEL.grad_time(100)
+        assert alpha + beta * 100 == pytest.approx(total)
+        assert alpha >= 0 and beta >= 0
+
+    def test_accumulation_normalized_out(self):
+        observations = [obs(m=m, s=4) for m in (16, 64)]
+        alpha, beta = fit_compute_params(observations)
+        assert alpha == pytest.approx(TRUE.alpha_c, rel=1e-6)
+        assert beta == pytest.approx(TRUE.beta_c, rel=1e-6)
+
+    def test_falls_back_to_smallest_gpu_count(self):
+        """Without 1-GPU data (Pollux can start multi-GPU), the fit uses the
+        smallest count seen, yielding a conservative (larger) estimate."""
+        observations = [obs(k=4, m=m) for m in (16, 64)]
+        alpha, beta = fit_compute_params(observations)
+        assert alpha + beta * 16 >= TRUE_MODEL.grad_time(16)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_compute_params([])
+
+
+class TestSyncInversion:
+    def test_roundtrip(self):
+        grad = TRUE_MODEL.grad_time(32)
+        sync = TRUE_MODEL.sync_time(2, 8)
+        iter_time = TRUE_MODEL.iter_time(32, 8, 2)
+        assert invert_sync_time(iter_time, grad, 1) == pytest.approx(sync)
+
+    def test_roundtrip_with_accumulation(self):
+        grad = TRUE_MODEL.grad_time(32)
+        sync = TRUE_MODEL.sync_time(2, 8)
+        iter_time = TRUE_MODEL.iter_time(32, 8, 2, accum_steps=4)
+        assert invert_sync_time(iter_time, grad, 4) == pytest.approx(sync)
+
+    def test_no_negative_sync(self):
+        assert invert_sync_time(0.01, 0.05, 1) == 0.0
+
+
+class TestSyncFit:
+    def test_recovers_from_two_counts(self):
+        points = [(k, TRUE_MODEL.sync_time(1, k)) for k in (2, 4, 8)]
+        alpha, beta = fit_sync_params(points)
+        assert alpha == pytest.approx(TRUE.alpha_r, rel=1e-6)
+        assert beta == pytest.approx(TRUE.beta_r, rel=1e-6)
+
+    def test_single_count_heuristic(self):
+        alpha, beta = fit_sync_params([(4, 0.02)])
+        assert alpha == pytest.approx(0.02)
+        assert beta > 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_sync_params([])
+
+
+class TestFullFit:
+    def test_exact_recovery_with_rich_data(self):
+        observations = (
+            [obs(m=m) for m in (8, 32, 128)]
+            + [obs(k=k, m=32) for k in (2, 4, 8)]
+            + [obs(n=2, k=k, m=32) for k in (8, 16)]
+        )
+        fit = fit_throughput_params(observations)
+        assert fit.has_single_gpu and fit.has_intra_node and fit.has_inter_node
+        for attr in ("alpha_c", "beta_c", "alpha_r", "beta_r",
+                     "alpha_n", "beta_n"):
+            assert getattr(fit.params, attr) == pytest.approx(
+                getattr(TRUE, attr), rel=1e-5), attr
+
+    def test_prediction_accuracy_on_unseen_config(self):
+        observations = [obs(m=m) for m in (8, 32, 128)] + \
+            [obs(k=k, m=32) for k in (2, 4)]
+        fit = fit_throughput_params(observations)
+        fitted = ThroughputModel(fit.params)
+        # Predict an unseen single-node count.
+        assert fitted.iter_time(32, 8, 1) == pytest.approx(
+            TRUE_MODEL.iter_time(32, 8, 1), rel=0.02)
+
+    def test_missing_inter_node_extrapolated_pessimistically(self):
+        observations = [obs(m=32), obs(k=4, m=32)]
+        fit = fit_throughput_params(observations)
+        assert not fit.has_inter_node
+        assert fit.params.alpha_n >= fit.params.alpha_r
+
+    def test_missing_intra_node_derived_from_inter(self):
+        observations = [obs(m=32), obs(n=2, k=8, m=32)]
+        fit = fit_throughput_params(observations)
+        assert fit.has_inter_node and not fit.has_intra_node
+        assert fit.params.alpha_r <= fit.params.alpha_n
+
+    def test_only_single_gpu_data_no_multi_flags(self):
+        fit = fit_throughput_params([obs(m=32)])
+        assert fit.has_single_gpu
+        assert not fit.has_multi_gpu
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_throughput_params([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(ms=st.lists(st.integers(1, 256), min_size=2, max_size=6,
+                       unique=True))
+    def test_fit_never_produces_negative_params(self, ms):
+        observations = [obs(m=m) for m in ms]
+        fit = fit_throughput_params(observations)
+        assert fit.params.alpha_c >= 0
+        assert fit.params.beta_c >= 0

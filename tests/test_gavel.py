@@ -1,0 +1,167 @@
+"""Tests for the Gavel baseline: LP properties and round-based realization."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import AdaptivityMode, ProfilingMode
+from repro.jobs.job import make_job
+from repro.schedulers.base import JobView
+from repro.schedulers.gavel import GavelScheduler
+
+
+def rigid_view(job_id, model, cluster, *, gpus=1, bsz=None) -> JobView:
+    job = make_job(job_id, model, 0.0, adaptivity=AdaptivityMode.RIGID,
+                   fixed_num_gpus=gpus, fixed_batch_size=bsz)
+    scheduler = GavelScheduler()
+    estimator = scheduler.make_estimator(job, cluster, ProfilingMode.ORACLE)
+    return JobView(job=job, estimator=estimator, current_config=None,
+                   age=0.0, num_restarts=0, progress=0.0)
+
+
+class TestLP:
+    def test_throughput_matrix_positive_where_feasible(self, hetero_cluster):
+        scheduler = GavelScheduler()
+        views = [rigid_view("j1", "bert", hetero_cluster)]
+        matrix = scheduler._throughput_matrix(views, hetero_cluster, [1])
+        assert np.all(matrix > 0)
+
+    def test_lp_respects_per_job_time_budget(self, hetero_cluster):
+        scheduler = GavelScheduler()
+        views = [rigid_view(f"j{i}", "resnet18", hetero_cluster)
+                 for i in range(3)]
+        xput = scheduler._throughput_matrix(views, hetero_cluster,
+                                            [1, 1, 1])
+        caps = [hetero_cluster.capacity(t) for t in hetero_cluster.gpu_types]
+        solution = scheduler._solve_lp(xput, [1, 1, 1], caps)
+        assert np.all(solution.sum(axis=1) <= 1.0 + 1e-9)
+
+    def test_lp_respects_capacity(self, hetero_cluster):
+        scheduler = GavelScheduler()
+        views = [rigid_view(f"j{i}", "bert", hetero_cluster, gpus=8)
+                 for i in range(20)]
+        counts = [8] * 20
+        xput = scheduler._throughput_matrix(views, hetero_cluster, counts)
+        caps = [hetero_cluster.capacity(t) for t in hetero_cluster.gpu_types]
+        solution = scheduler._solve_lp(xput, counts, caps)
+        for k, cap in enumerate(caps):
+            assert float(solution[:, k].sum() * 8) <= cap + 1e-6
+
+    def test_lonely_job_gets_best_type_fully(self, hetero_cluster):
+        """An uncontended BERT job's LP share should concentrate on a100."""
+        scheduler = GavelScheduler()
+        views = [rigid_view("j1", "bert", hetero_cluster)]
+        xput = scheduler._throughput_matrix(views, hetero_cluster, [1])
+        caps = [hetero_cluster.capacity(t) for t in hetero_cluster.gpu_types]
+        solution = scheduler._solve_lp(xput, [1], caps)
+        a100_idx = hetero_cluster.gpu_types.index("a100")
+        assert solution[0, a100_idx] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestRoundMechanism:
+    def test_plan_valid_and_within_capacity(self, hetero_cluster):
+        scheduler = GavelScheduler()
+        views = [rigid_view(f"j{i}", "resnet18", hetero_cluster, gpus=2)
+                 for i in range(10)]
+        plan = scheduler.decide(views, hetero_cluster, {}, 0.0)
+        plan.validate(hetero_cluster)
+        for alloc in plan.allocations.values():
+            assert alloc.num_gpus == 2
+
+    def test_saturation_serves_capacity_and_recovers(self, hetero_cluster):
+        """max-sum-throughput is not fairness-aware: under saturation the LP
+        picks a vertex and the same winners keep their share (this is what
+        blows up Gavel's p99 in Table 3).  But the mechanism must stay
+        work-conserving: when a winner completes, a starved job takes over."""
+        scheduler = GavelScheduler()
+        views = [rigid_view(f"j{i}", "resnet50", hetero_cluster, gpus=16)
+                 for i in range(8)]  # demand 128 > capacity 64
+        plan = scheduler.decide(views, hetero_cluster, {}, 0.0)
+        # capacity supports at most 3 x 16-GPU jobs (24/24/16 per type)
+        first_winners = set(plan.allocations)
+        assert len(first_winners) == 3
+        # One winner completes; someone new must be served next round.
+        survivor_views = [v for v in views
+                          if v.job_id != next(iter(first_winners))]
+        plan2 = scheduler.decide(survivor_views, hetero_cluster,
+                                 plan.allocations, 360.0)
+        assert len(plan2.allocations) == 3
+        assert set(plan2.allocations) - first_winners
+
+    def test_rotation_when_lp_shares_are_fractional(self, hetero_cluster):
+        """Five 8-GPU jobs on 16 a100-equivalent shares: every job holds a
+        positive LP share, so the deficit mechanism must serve each of them
+        within a few rounds."""
+        scheduler = GavelScheduler()
+        views = [rigid_view(f"j{i}", "resnet18", hetero_cluster, gpus=8)
+                 for i in range(10)]  # demand 80 > capacity 64
+        served: set[str] = set()
+        previous = {}
+        for round_idx in range(10):
+            plan = scheduler.decide(views, hetero_cluster, previous,
+                                    round_idx * 360.0)
+            served |= set(plan.allocations)
+            previous = plan.allocations
+        assert len(served) >= 8  # near-universal service
+
+    def test_prefers_staying_on_same_nodes(self, hetero_cluster):
+        scheduler = GavelScheduler()
+        views = [rigid_view("j1", "bert", hetero_cluster, gpus=2)]
+        first = scheduler.decide(views, hetero_cluster, {}, 0.0)
+        second = scheduler.decide(views, hetero_cluster,
+                                  first.allocations, 360.0)
+        assert second.allocations["j1"] == first.allocations["j1"]
+
+    def test_empty_views(self, hetero_cluster):
+        plan = GavelScheduler().decide([], hetero_cluster, {}, 0.0)
+        assert plan.allocations == {}
+
+    def test_oversized_job_skipped_gracefully(self, hetero_cluster):
+        views = [rigid_view("big", "bert", hetero_cluster, gpus=32)]
+        plan = GavelScheduler().decide(views, hetero_cluster, {}, 0.0)
+        # 32 > any single type's capacity except none; t4/rtx have 24, a100 16
+        assert "big" not in plan.allocations
+
+
+class TestMaxMinFairnessPolicy:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            GavelScheduler(policy="round_robin")
+
+    def test_max_min_rotates_where_max_sum_starves(self, hetero_cluster):
+        """Identical saturating jobs: max-sum-throughput picks a vertex and
+        serves the same winners; max-min fairness gives everyone a positive
+        share, so the deficit mechanism rotates service across all jobs."""
+        def run(policy):
+            scheduler = GavelScheduler(policy=policy)
+            views = [rigid_view(f"j{i}", "resnet50", hetero_cluster, gpus=16)
+                     for i in range(8)]
+            served: set[str] = set()
+            previous = {}
+            for round_idx in range(8):
+                plan = scheduler.decide(views, hetero_cluster, previous,
+                                        round_idx * 360.0)
+                served |= set(plan.allocations)
+                previous = plan.allocations
+            return served
+
+        assert len(run("max_min_fairness")) == 8
+        assert len(run("max_sum_throughput")) < 8
+
+    def test_max_min_lp_gives_equal_shares(self, hetero_cluster):
+        scheduler = GavelScheduler(policy="max_min_fairness")
+        views = [rigid_view(f"j{i}", "resnet50", hetero_cluster, gpus=16)
+                 for i in range(8)]
+        counts = [16] * 8
+        xput = scheduler._throughput_matrix(views, hetero_cluster, counts)
+        caps = [hetero_cluster.capacity(t) for t in hetero_cluster.gpu_types]
+        solution = scheduler._solve_lp_max_min(xput, counts, caps)
+        shares = (solution * xput).sum(axis=1) / xput.max(axis=1)
+        assert shares.min() > 0
+        assert shares.max() <= shares.min() * 1.7  # roughly equalized
+
+    def test_max_min_plan_valid(self, hetero_cluster):
+        scheduler = GavelScheduler(policy="max_min_fairness")
+        views = [rigid_view(f"j{i}", "bert", hetero_cluster, gpus=4)
+                 for i in range(10)]
+        plan = scheduler.decide(views, hetero_cluster, {}, 0.0)
+        plan.validate(hetero_cluster)

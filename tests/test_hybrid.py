@@ -1,0 +1,109 @@
+"""Tests for hybrid-parallel (PMP x DP) jobs (Section 5.3)."""
+
+import pytest
+
+from repro.core.types import Configuration
+from repro.jobs.hybrid import HybridPerfEstimator, HybridPerfModel, HybridSpec
+
+
+@pytest.fixture
+def spec() -> HybridSpec:
+    return HybridSpec()  # 2 stages on a100, 8 on rtx, 48 x 1 micro-batches
+
+
+@pytest.fixture
+def perf(spec) -> HybridPerfModel:
+    return HybridPerfModel("gpt-2.8b", spec)
+
+
+class TestSpec:
+    def test_defaults_match_paper(self, spec):
+        assert spec.stages_per_type == {"a100": 2, "rtx": 8}
+        assert spec.num_microbatches == 48
+        assert spec.replica_batch_size == 48
+
+    def test_replica_counting(self, spec):
+        assert spec.num_replicas(Configuration(1, 4, "a100")) == 2
+        assert spec.num_replicas(Configuration(1, 8, "rtx")) == 1
+        assert spec.num_replicas(Configuration(1, 3, "a100")) is None
+        assert spec.num_replicas(Configuration(1, 4, "t4")) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridSpec(stages_per_type={})
+        with pytest.raises(ValueError):
+            HybridSpec(stages_per_type={"a100": 0})
+        with pytest.raises(ValueError):
+            HybridSpec(micro_batch_size=0)
+
+
+class TestPerfModel:
+    def test_pipeline_bubble(self, perf, spec):
+        """GPipe: iteration spans (num_micro + P - 1) stage times."""
+        iter_a100 = perf.iter_time("a100", 1, 1)
+        from repro.perf import profiles
+        params = profiles.true_throughput_params("gpt-2.8b", "a100")
+        micro = params.alpha_c + params.beta_c * spec.micro_batch_size
+        expected = (48 + 2 - 1) * micro / 2
+        assert iter_a100 == pytest.approx(expected)
+
+    def test_dp_adds_sync_cost(self, perf):
+        single = perf.iter_time("a100", 1, 1)
+        double = perf.iter_time("a100", 2, 1)
+        assert double > single
+
+    def test_throughput_scales_nearly_linearly(self, perf):
+        """Section 5.3: compute dominates communication for this model, so
+        throughput grows almost linearly with replica count."""
+        x1 = perf.throughput("a100", 1, 1)
+        x4 = perf.throughput("a100", 4, 2)
+        assert 3.5 * x1 < x4 <= 4.0 * x1
+
+    def test_unknown_type_raises(self, perf):
+        with pytest.raises(ValueError):
+            perf.iter_time("t4", 1, 1)
+
+    def test_invalid_replicas(self, perf):
+        with pytest.raises(ValueError):
+            perf.iter_time("a100", 0, 1)
+
+
+class TestEstimator:
+    @pytest.fixture
+    def estimator(self, spec) -> HybridPerfEstimator:
+        return HybridPerfEstimator("gpt-2.8b", spec)
+
+    def test_goodput_zero_for_invalid_configs(self, estimator):
+        assert estimator.goodput(Configuration(1, 3, "a100")) == 0.0
+        assert estimator.goodput(Configuration(1, 4, "t4")) == 0.0
+
+    def test_goodput_positive_for_valid_configs(self, estimator):
+        assert estimator.goodput(Configuration(1, 2, "a100")) > 0
+        assert estimator.goodput(Configuration(1, 8, "rtx")) > 0
+
+    def test_more_replicas_more_goodput(self, estimator):
+        one = estimator.goodput(Configuration(1, 2, "a100"))
+        four = estimator.goodput(Configuration(1, 8, "a100"))
+        assert four > 2 * one
+
+    def test_max_bsz_caps_scale_out(self, estimator):
+        """GPT max_bsz=384 and replica batch 48 => at most 8 replicas."""
+        too_big = Configuration(3, 24, "a100")  # 12 replicas
+        assert estimator.goodput(too_big) == 0.0
+
+    def test_profile_initial_charges_warmup(self, estimator):
+        cost = estimator.profile_initial()
+        assert cost > 0
+        assert estimator.profiling_gpu_seconds == cost
+
+    def test_protocol_noops(self, estimator):
+        estimator.add_observation(None)  # ignored
+        before = estimator.efficiency_model.params.grad_noise_scale
+        estimator.update_gradient_stats(before)  # converged, no-op-ish
+        assert estimator.best_plan(Configuration(1, 2, "a100")) is None
+
+    def test_a100_preferred_over_rtx_per_gpu(self, estimator):
+        """Per GPU, the a100 partitioning is far more efficient."""
+        a100 = estimator.goodput(Configuration(1, 8, "a100")) / 8
+        rtx = estimator.goodput(Configuration(1, 8, "rtx")) / 8
+        assert a100 > rtx

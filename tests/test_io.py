@@ -1,0 +1,88 @@
+"""Tests for trace/result JSON serialization."""
+
+import json
+
+import pytest
+
+from repro import io
+from repro.cluster import presets
+from repro.core.types import AdaptivityMode
+from repro.jobs.hybrid import HybridSpec
+from repro.jobs.job import make_job
+from repro.metrics import summarize
+from repro.schedulers import SiaScheduler
+from repro.sim import simulate
+from repro.workloads import philly_trace
+from repro.workloads.trace import Trace
+
+
+class TestTraceRoundtrip:
+    def test_plain_trace(self, tmp_path):
+        trace = philly_trace(seed=0, num_jobs=20)
+        path = tmp_path / "trace.json"
+        io.save_trace(trace, path)
+        loaded = io.load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.seed == trace.seed
+        for a, b in zip(trace.jobs, loaded.jobs):
+            assert a == b
+
+    def test_exotic_jobs_roundtrip(self, tmp_path):
+        jobs = [
+            make_job("hybrid", "gpt-2.8b", 0.0, hybrid=HybridSpec(),
+                     max_gpus=64),
+            make_job("rigid", "bert", 10.0, adaptivity=AdaptivityMode.RIGID,
+                     fixed_num_gpus=4, fixed_batch_size=48),
+            make_job("infer", "resnet18", 20.0, workload="batch_inference"),
+            make_job("serve", "bert", 30.0, workload="latency_inference",
+                     latency_slo=0.01),
+            make_job("pinned", "yolov3", 40.0, preemptible=False),
+        ]
+        path = tmp_path / "trace.json"
+        io.save_trace(Trace(name="exotic", jobs=jobs, seed=7), path)
+        loaded = io.load_trace(path)
+        assert loaded.jobs == jobs
+        assert loaded.jobs[0].hybrid == HybridSpec()
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        trace = philly_trace(seed=0, num_jobs=4)
+        path = tmp_path / "x.json"
+        io.save_trace(trace, path)
+        with pytest.raises(ValueError, match="expected 'result'"):
+            io.load_result(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "trace", "format_version": 99,
+                                    "name": "x", "jobs": []}))
+        with pytest.raises(ValueError, match="format version"):
+            io.load_trace(path)
+
+
+class TestResultRoundtrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cluster = presets.heterogeneous()
+        jobs = [make_job(f"j{i}", "resnet18", i * 60.0, work_scale=0.05)
+                for i in range(3)]
+        return simulate(cluster, SiaScheduler(), jobs)
+
+    def test_metrics_preserved(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        io.save_result(result, path)
+        loaded = io.load_result(path)
+        assert summarize(loaded).as_row() == summarize(result).as_row()
+
+    def test_round_records_preserved(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        io.save_result(result, path)
+        loaded = io.load_result(path)
+        assert len(loaded.rounds) == len(result.rounds)
+        assert loaded.rounds[0].allocations == result.rounds[0].allocations
+
+    def test_rounds_optional(self, result, tmp_path):
+        path = tmp_path / "slim.json"
+        io.save_result(result, path, include_rounds=False)
+        loaded = io.load_result(path)
+        assert loaded.rounds == []
+        assert len(loaded.jobs) == len(result.jobs)

@@ -1,0 +1,115 @@
+"""Tests for the job abstraction."""
+
+import math
+
+import pytest
+
+from repro.core.types import AdaptivityMode
+from repro.jobs.hybrid import HybridSpec
+from repro.jobs.job import Job, isolated_runtime, make_job
+from repro.perf import profiles
+
+
+class TestJobValidation:
+    def test_basic_construction(self):
+        job = make_job("j1", "bert", 100.0)
+        assert job.submit_time == 100.0
+        assert job.adaptivity is AdaptivityMode.ADAPTIVE
+        assert job.target_samples > 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            make_job("j1", "vgg", 0.0)
+
+    def test_rigid_requires_gpu_count(self):
+        with pytest.raises(ValueError):
+            Job("j1", "bert", 0.0, target_samples=1e5,
+                adaptivity=AdaptivityMode.RIGID, fixed_batch_size=48)
+
+    def test_strong_scaling_requires_batch(self):
+        with pytest.raises(ValueError):
+            Job("j1", "bert", 0.0, target_samples=1e5,
+                adaptivity=AdaptivityMode.STRONG_SCALING)
+
+    def test_make_job_defaults_pinned_params(self):
+        job = make_job("j1", "bert", 0.0, adaptivity=AdaptivityMode.RIGID)
+        assert job.fixed_batch_size == profiles.model_profile("bert").min_bsz
+        assert job.fixed_num_gpus == 1
+
+    def test_invalid_gpu_limits(self):
+        with pytest.raises(ValueError):
+            Job("j1", "bert", 0.0, target_samples=1e5, min_gpus=8, max_gpus=4)
+
+    def test_work_scale(self):
+        small = make_job("a", "bert", 0.0, work_scale=0.5)
+        big = make_job("b", "bert", 0.0, work_scale=2.0)
+        assert big.target_samples == pytest.approx(4 * small.target_samples)
+
+    def test_work_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_job("j1", "bert", 0.0, work_scale=0.0)
+
+
+class TestEffectiveLimits:
+    def test_rigid_pins_min_and_max(self):
+        job = make_job("j1", "bert", 0.0, adaptivity=AdaptivityMode.RIGID,
+                       fixed_num_gpus=4, fixed_batch_size=48)
+        assert job.effective_min_gpus == 4
+        assert job.effective_max_gpus == 4
+
+    def test_hybrid_min_is_smallest_stage_count(self):
+        job = make_job("j1", "gpt-2.8b", 0.0, hybrid=HybridSpec(), max_gpus=64)
+        assert job.effective_min_gpus == 2  # a100 partitioning
+
+    def test_allowed_types_default_any(self):
+        assert make_job("j1", "bert", 0.0).allowed_gpu_types is None
+
+    def test_hybrid_allowed_types_are_profiled_ones(self):
+        job = make_job("j1", "gpt-2.8b", 0.0, hybrid=HybridSpec(), max_gpus=64)
+        assert set(job.allowed_gpu_types) == {"a100", "rtx"}
+
+    def test_fixed_type(self):
+        job = make_job("j1", "bert", 0.0)
+        job.fixed_gpu_type = "rtx"
+        assert job.allowed_gpu_types == ("rtx",)
+
+    def test_constraints_reflect_profile(self):
+        job = make_job("j1", "bert", 0.0)
+        constraints = job.constraints()
+        assert constraints.min_bsz == 12
+        assert constraints.max_bsz == 384
+
+    def test_restart_delay_from_profile(self):
+        assert make_job("j1", "resnet18", 0.0).restart_delay == 25.0
+        assert make_job("j2", "gpt-2.8b", 0.0,
+                        hybrid=HybridSpec()).restart_delay == 250.0
+
+
+class TestIsolatedRuntime:
+    def test_positive_and_finite(self):
+        job = make_job("j1", "bert", 0.0)
+        runtime = isolated_runtime(job, "a100", 4)
+        assert 0 < runtime < math.inf
+
+    def test_more_gpus_faster(self):
+        job = make_job("j1", "bert", 0.0)
+        assert isolated_runtime(job, "a100", 8) < \
+            isolated_runtime(job, "a100", 1)
+
+    def test_faster_type_faster(self):
+        job = make_job("j1", "bert", 0.0)
+        assert isolated_runtime(job, "a100", 1) < \
+            isolated_runtime(job, "t4", 1)
+
+    def test_infinite_when_model_does_not_fit(self):
+        job = make_job("j1", "gpt-2.8b", 0.0, hybrid=HybridSpec())
+        assert math.isinf(isolated_runtime(job, "t4", 4))
+
+    def test_respects_fixed_batch(self):
+        free = make_job("a", "bert", 0.0)
+        pinned = make_job("b", "bert", 0.0,
+                          adaptivity=AdaptivityMode.STRONG_SCALING,
+                          fixed_batch_size=12)
+        # A pinned tiny batch cannot beat the optimized batch at 8 GPUs.
+        assert isolated_runtime(pinned, "a100", 8) >= \
+            isolated_runtime(free, "a100", 8)

@@ -1,0 +1,185 @@
+"""Tests for goodput-matrix normalization, restart factor (Equation 3) and
+utility shaping (Section 3.4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.matrix import (apply_restart_discount, build_goodput_matrix,
+                               config_index, normalize_rows, restart_factor,
+                               shape_utilities)
+from repro.core.types import Configuration
+
+
+class TestBuildMatrix:
+    def test_basic(self):
+        matrix = build_goodput_matrix([{0: 1.5, 2: 3.0}, {1: 2.0}], 3)
+        assert matrix[0, 0] == 1.5
+        assert math.isnan(matrix[0, 1])
+        assert matrix[1, 1] == 2.0
+
+    def test_nonpositive_marked_infeasible(self):
+        matrix = build_goodput_matrix([{0: 0.0, 1: -1.0}], 2)
+        assert math.isnan(matrix[0, 0]) and math.isnan(matrix[0, 1])
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            build_goodput_matrix([{5: 1.0}], 2)
+
+
+class TestNormalization:
+    def test_row_min_becomes_min_gpus(self):
+        matrix = build_goodput_matrix([{0: 2.0, 1: 8.0}], 2)
+        out = normalize_rows(matrix, [1])
+        assert out[0, 0] == pytest.approx(1.0)
+        assert out[0, 1] == pytest.approx(4.0)
+
+    def test_min_gpus_scales_row(self):
+        matrix = build_goodput_matrix([{0: 2.0, 1: 8.0}], 2)
+        out = normalize_rows(matrix, [4])
+        assert out[0, 0] == pytest.approx(4.0)
+        assert out[0, 1] == pytest.approx(16.0)
+
+    def test_empty_row_untouched(self):
+        matrix = build_goodput_matrix([{}], 2)
+        out = normalize_rows(matrix, [1])
+        assert math.isnan(out[0, 0])
+
+    def test_length_mismatch(self):
+        matrix = build_goodput_matrix([{0: 1.0}], 1)
+        with pytest.raises(ValueError):
+            normalize_rows(matrix, [1, 1])
+
+    @given(values=st.lists(st.floats(0.1, 1e4), min_size=1, max_size=8))
+    def test_normalized_rows_at_least_min_gpus(self, values):
+        matrix = build_goodput_matrix([dict(enumerate(values))], len(values))
+        out = normalize_rows(matrix, [2])
+        finite = out[0][~np.isnan(out[0])]
+        assert finite.min() == pytest.approx(2.0)
+
+    @given(values=st.lists(st.floats(0.1, 1e4), min_size=2, max_size=8),
+           scale=st.floats(0.5, 100.0))
+    def test_scale_invariance(self, values, scale):
+        """Normalization makes rows unit-free: scaling all goodputs of a job
+        leaves its normalized row unchanged."""
+        m1 = build_goodput_matrix([dict(enumerate(values))], len(values))
+        m2 = build_goodput_matrix(
+            [dict(enumerate([v * scale for v in values]))], len(values))
+        out1 = normalize_rows(m1, [1])
+        out2 = normalize_rows(m2, [1])
+        np.testing.assert_allclose(out1, out2, rtol=1e-9)
+
+
+class TestRestartFactor:
+    def test_never_started_is_neutral(self):
+        assert restart_factor(0.0, 0, 0.0) == 1.0
+
+    def test_young_job_heavily_discounted(self):
+        """Equation 3: a 60 s old job with a 100 s restart cost should hate
+        restarting."""
+        assert restart_factor(60.0, 0, 100.0) < 0.5
+
+    def test_old_job_approaches_one(self):
+        assert restart_factor(1e6, 0, 100.0) > 0.99
+
+    def test_restart_history_lowers_factor(self):
+        clean = restart_factor(3600.0, 0, 100.0)
+        churned = restart_factor(3600.0, 10, 100.0)
+        assert churned < clean
+
+    def test_clamped_to_unit_interval(self):
+        assert restart_factor(10.0, 100, 100.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            restart_factor(-1.0, 0, 10.0)
+
+    @given(age=st.floats(0, 1e7), restarts=st.integers(0, 100),
+           cost=st.floats(0, 1e4))
+    def test_always_in_unit_interval(self, age, restarts, cost):
+        assert 0.0 <= restart_factor(age, restarts, cost) <= 1.0
+
+
+class TestRestartDiscount:
+    def test_only_non_current_entries_discounted(self):
+        matrix = np.array([[2.0, 4.0, 8.0]])
+        out = apply_restart_discount(matrix, [1], [0.5])
+        assert out[0, 0] == 1.0
+        assert out[0, 1] == 4.0  # current config untouched
+        assert out[0, 2] == 4.0
+
+    def test_queued_job_not_discounted(self):
+        matrix = np.array([[2.0, 4.0]])
+        out = apply_restart_discount(matrix, [None], [0.5])
+        np.testing.assert_array_equal(out, matrix)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            apply_restart_discount(np.ones((1, 2)), [None, None], [1.0])
+
+
+class TestShaping:
+    def test_positive_p(self):
+        matrix = np.array([[1.0, 4.0]])
+        out = shape_utilities(matrix, p=0.5, allocation_incentive=1.1)
+        assert out[0, 0] == pytest.approx(1.1 + 1.0)
+        assert out[0, 1] == pytest.approx(1.1 + 2.0)
+
+    def test_negative_p_preserves_ordering(self):
+        """For p < 0 the objective flips; after our negation, better
+        configurations must still have larger utility."""
+        matrix = np.array([[1.0, 4.0]])
+        out = shape_utilities(matrix, p=-0.5, allocation_incentive=1.1)
+        assert out[0, 1] > out[0, 0]
+
+    def test_negative_p_allocation_still_attractive(self):
+        """With normalized goodputs >= 1 and lambda > 1, every feasible pair
+        keeps positive utility so queued jobs get allocated if possible."""
+        matrix = np.array([[1.0, 2.0, 16.0]])
+        out = shape_utilities(matrix, p=-0.5, allocation_incentive=1.1)
+        assert np.all(out[0] > 0)
+
+    def test_p_zero_uniform(self):
+        matrix = np.array([[1.0, 4.0]])
+        out = shape_utilities(matrix, p=0.0, allocation_incentive=1.1)
+        assert out[0, 0] == out[0, 1] == pytest.approx(2.1)
+
+    def test_nan_preserved(self):
+        matrix = np.array([[math.nan, 2.0]])
+        out = shape_utilities(matrix, p=-0.5, allocation_incentive=1.1)
+        assert math.isnan(out[0, 0])
+
+    def test_zero_entry_becomes_infeasible_for_negative_p(self):
+        """A zero restart factor zeroes an entry; 0^p is infinite for p<0,
+        so the entry must drop out rather than poison the ILP."""
+        matrix = np.array([[0.0, 2.0]])
+        out = shape_utilities(matrix, p=-0.5, allocation_incentive=1.1)
+        assert math.isnan(out[0, 0])
+        assert math.isfinite(out[0, 1])
+
+    def test_rejects_negative_incentive(self):
+        with pytest.raises(ValueError):
+            shape_utilities(np.ones((1, 1)), p=0.5, allocation_incentive=-1)
+
+    @given(p=st.floats(-1.0, 1.0), values=st.lists(
+        st.floats(1.0, 100.0), min_size=2, max_size=6, unique=True))
+    def test_ordering_preserved_for_all_p(self, p, values):
+        matrix = np.array([sorted(values)])
+        out = shape_utilities(matrix, p=p, allocation_incentive=1.1)
+        diffs = np.diff(out[0])
+        assert np.all(diffs >= -1e-12)
+
+
+class TestConfigIndex:
+    def test_found(self):
+        configs = [Configuration(1, 1, "t4"), Configuration(1, 2, "t4")]
+        assert config_index(configs, Configuration(1, 2, "t4")) == 1
+
+    def test_none_input(self):
+        assert config_index([], None) is None
+
+    def test_missing(self):
+        configs = [Configuration(1, 1, "t4")]
+        assert config_index(configs, Configuration(1, 8, "a100")) is None

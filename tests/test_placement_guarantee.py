@@ -1,0 +1,71 @@
+"""Property test for the Section 3.3 placement guarantee.
+
+The paper invokes the Submesh Shape Covering theorem: restricting
+single-node allocations to powers of two and multi-node allocations to
+whole nodes guarantees a placement exists for *any* mix of valid
+configurations that fits per-type GPU capacity (with multi-node jobs not
+sharing nodes).  Our Placer's repack must therefore never evict when
+handed such a mix — this is what lets Sia's ILP use simple per-type
+capacity constraints instead of node-level ones.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import presets
+from repro.core.configs import build_config_set
+from repro.core.placement import Placer
+from repro.core.types import Configuration
+
+
+@st.composite
+def capacity_respecting_assignments(draw):
+    """Random multisets of valid configurations within per-type capacity,
+    with multi-node demand counted in whole empty nodes."""
+    cluster = presets.heterogeneous()
+    configs = build_config_set(cluster)
+    # Track remaining whole nodes and loose GPU capacity per type.
+    free_nodes = {t: len(cluster.nodes_of_type(t))
+                  for t in cluster.gpu_types}
+    node_size = {t: cluster.max_node_size(t) for t in cluster.gpu_types}
+    partial_capacity = {t: 0 for t in cluster.gpu_types}
+
+    assignments: dict[str, Configuration] = {}
+    n = draw(st.integers(0, 14))
+    for i in range(n):
+        config = draw(st.sampled_from(configs))
+        t = config.gpu_type
+        if config.num_nodes > 1:
+            if free_nodes[t] < config.num_nodes:
+                continue
+            free_nodes[t] -= config.num_nodes
+        else:
+            # Partial allocations consume loose capacity; open a new node
+            # when the current loose pool cannot hold this one.
+            if partial_capacity[t] < config.num_gpus:
+                needed = -(-(config.num_gpus - partial_capacity[t])
+                           // node_size[t])
+                if free_nodes[t] < needed:
+                    continue
+                free_nodes[t] -= needed
+                partial_capacity[t] += needed * node_size[t]
+            partial_capacity[t] -= config.num_gpus
+        assignments[f"j{i}"] = config
+    return assignments
+
+
+@settings(max_examples=200, deadline=None)
+@given(assignments=capacity_respecting_assignments())
+def test_valid_mixes_always_place_without_eviction(assignments):
+    cluster = presets.heterogeneous()
+    placer = Placer(cluster)
+    result = placer.place(assignments, {})
+    assert not result.evicted, (assignments, result.evicted)
+    assert set(result.allocations) == set(assignments)
+    # Multi-node jobs never share nodes with anyone.
+    multi_nodes: set[int] = set()
+    for job_id, alloc in result.allocations.items():
+        if assignments[job_id].num_nodes > 1:
+            multi_nodes |= set(alloc.node_ids)
+    for job_id, alloc in result.allocations.items():
+        if assignments[job_id].num_nodes == 1:
+            assert not (set(alloc.node_ids) & multi_nodes)

@@ -1,0 +1,136 @@
+"""Tests for the ground-truth performance catalog — including the paper's
+qualitative heterogeneity facts (Figures 2 and 6)."""
+
+import pytest
+
+from repro.perf import profiles
+from repro.perf.throughput import ThroughputModel
+
+
+def one_gpu_goodput(model_name: str, gpu_type: str) -> float:
+    profile = profiles.model_profile(model_name)
+    cap = profiles.max_local_bsz(model_name, gpu_type)
+    if cap < 1:
+        return 0.0
+    model = profiles.true_goodput_model(model_name, gpu_type)
+    return model.goodput(1, 1, max_local_bsz=cap,
+                         max_total_bsz=profile.max_bsz,
+                         min_total_bsz=profile.min_bsz)
+
+
+class TestZoo:
+    def test_all_table2_models_present(self):
+        expected = {"resnet18", "bert", "deepspeech2", "yolov3",
+                    "resnet50", "gpt-2.8b"}
+        assert set(profiles.MODEL_ZOO) == expected
+
+    def test_categories_cover_all_buckets(self):
+        assert set(profiles.CATEGORY_MODELS) == {"S", "M", "L", "XL", "XXL"}
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="resnet18"):
+            profiles.model_profile("alexnet")
+
+    def test_restart_delays_in_paper_range(self):
+        """Section 3.4: restart costs are 25-250 s for Table 2 models."""
+        for profile in profiles.MODEL_ZOO.values():
+            assert 25.0 <= profile.restart_delay_s <= 250.0
+
+    def test_batch_ranges_match_table2(self):
+        assert profiles.model_profile("resnet18").min_bsz == 128
+        assert profiles.model_profile("resnet18").max_bsz == 4096
+        assert profiles.model_profile("bert").min_bsz == 12
+        assert profiles.model_profile("bert").max_bsz == 384
+
+    def test_optimizers_match_table2(self):
+        assert profiles.model_profile("bert").optimizer == "adamw"
+        assert profiles.model_profile("resnet50").optimizer == "sgd"
+        assert profiles.model_profile("gpt-2.8b").optimizer == "adamw"
+
+
+class TestHeterogeneityShape:
+    """The qualitative (job, GPU type) preferences the paper reports."""
+
+    def test_bert_strongly_prefers_a100(self):
+        """Figure 6: Sia allocates BERT almost exclusively to a100."""
+        a100 = one_gpu_goodput("bert", "a100")
+        for other in ("t4", "rtx", "quad"):
+            assert a100 > 2.5 * one_gpu_goodput("bert", other)
+
+    def test_deepspeech2_rtx_is_close_to_a100(self):
+        """Figure 6: DeepSpeech2 goes to rtx, freeing a100 for BERT —
+        so rtx must be a near-substitute for a100 on DeepSpeech2."""
+        rtx = one_gpu_goodput("deepspeech2", "rtx")
+        a100 = one_gpu_goodput("deepspeech2", "a100")
+        assert rtx > 0.6 * a100
+        # ... while for BERT rtx is a poor substitute.
+        assert one_gpu_goodput("bert", "rtx") < \
+            0.4 * one_gpu_goodput("bert", "a100")
+
+    def test_every_model_fastest_on_a100(self):
+        for model in ("resnet18", "bert", "deepspeech2", "yolov3", "resnet50"):
+            rates = {t: one_gpu_goodput(model, t)
+                     for t in ("t4", "rtx", "a100", "quad")}
+            assert max(rates, key=rates.get) == "a100"
+
+    def test_gpt_fits_no_single_gpu(self):
+        """The 2.8B model motivates pipeline parallelism: it exceeds every
+        GPU type's memory."""
+        for gpu_type in ("t4", "rtx", "a100", "quad"):
+            assert profiles.max_local_bsz("gpt-2.8b", gpu_type) == 0
+
+    def test_memory_limits_ordered_by_vram(self):
+        for model in ("bert", "yolov3"):
+            assert profiles.max_local_bsz(model, "a100") > \
+                profiles.max_local_bsz(model, "quad") > \
+                profiles.max_local_bsz(model, "rtx")
+
+    def test_rtx_scales_worse_across_nodes_than_a100(self):
+        """Distinct compute-to-network ratios (Section 1): 50 Gb/s Ethernet
+        vs 1.6 Tb/s InfiniBand means rtx loses more to multi-node sync."""
+        for model in ("bert", "yolov3"):
+            rtx = ThroughputModel(profiles.true_throughput_params(model, "rtx"))
+            a100 = ThroughputModel(profiles.true_throughput_params(model, "a100"))
+            rtx_ratio = rtx.sync_time(2, 16) / rtx.grad_time(16)
+            a100_ratio = a100.sync_time(2, 16) / a100.grad_time(16)
+            assert rtx_ratio > 3 * a100_ratio
+
+
+class TestWorkTotals:
+    def test_reference_goodput_positive(self):
+        for model in profiles.MODEL_ZOO:
+            assert profiles.reference_goodput(model) > 0
+
+    def test_target_samples_scale_with_category(self):
+        """Job work totals follow the S < M < L < XL GPU-time ordering when
+        normalized by processing speed (target_t4_hours encodes this)."""
+        hours = {m: profiles.model_profile(m).target_t4_hours
+                 for m in profiles.MODEL_ZOO}
+        assert hours["resnet18"] < hours["bert"] < hours["yolov3"] \
+            < hours["resnet50"]
+
+    def test_category_hours_in_buckets(self):
+        """Section 4.1 buckets: S 0-1 h, M 1-10 h, L 10-100 h, XL >100 h."""
+        buckets = {"S": (0, 1), "M": (1, 10), "L": (10, 100),
+                   "XL": (100, 1e9), "XXL": (100, 1e9)}
+        for profile in profiles.MODEL_ZOO.values():
+            lo, hi = buckets[profile.category]
+            assert lo < profile.target_t4_hours <= hi
+
+
+class TestTrueParams:
+    def test_params_cached(self):
+        a = profiles.true_throughput_params("bert", "a100")
+        b = profiles.true_throughput_params("bert", "a100")
+        assert a is b
+
+    def test_faster_gpu_lower_compute_cost(self):
+        t4 = profiles.true_throughput_params("resnet50", "t4")
+        a100 = profiles.true_throughput_params("resnet50", "a100")
+        assert a100.beta_c < t4.beta_c
+        assert a100.alpha_c < t4.alpha_c
+
+    def test_sync_costs_reflect_bandwidth(self):
+        rtx = profiles.true_throughput_params("bert", "rtx")
+        a100 = profiles.true_throughput_params("bert", "a100")
+        assert rtx.alpha_n > a100.alpha_n
