@@ -26,6 +26,7 @@ from repro.analysis.render import format_table
 from repro.cluster import presets
 from repro.cluster.gpu import GPU_CATALOG
 from repro.core.policy import SiaPolicyParams
+from repro.core.resilience import ResilienceConfig, ResilientScheduler
 from repro.core.types import ProfilingMode
 from repro.metrics.jct import summarize
 from repro.perf.profiles import MODEL_ZOO
@@ -34,6 +35,8 @@ from repro.schedulers import (FIFOScheduler, GavelScheduler, PolluxScheduler,
                               SRTFScheduler, ThemisScheduler)
 from repro.schedulers.base import Scheduler
 from repro.sim.engine import Simulator, SimulatorConfig
+from repro.sim.faults import (CheckpointRestoreFaultModel, FaultModel,
+                              JobCrashModel, StragglerModel)
 from repro.workloads.generators import SPECS, trace_by_name
 from repro.workloads.trace import Trace
 from repro.workloads.tuning import tuned_jobs
@@ -45,24 +48,48 @@ RIGID_SCHEDULERS = ("gavel", "shockwave", "themis", "fifo", "srtf")
 
 
 def build_scheduler(name: str, args: argparse.Namespace) -> Scheduler:
+    resilience = None
+    if getattr(args, "resilient", False):
+        resilience = ResilienceConfig(solve_budget_s=args.solve_budget)
     if name == "sia":
         params = SiaPolicyParams(p=args.p, allocation_incentive=args.lam,
-                                 solver=args.solver)
-        return SiaScheduler(params, round_duration=args.round_duration)
-    if name == "pollux":
-        return PolluxScheduler(round_duration=args.round_duration)
-    if name == "gavel":
-        return GavelScheduler(policy=args.gavel_policy)
-    if name == "shockwave":
-        return ShockwaveScheduler()
-    if name == "themis":
-        return ThemisScheduler()
-    if name == "fifo":
-        return FIFOScheduler()
-    if name == "srtf":
-        return SRTFScheduler()
-    known = ", ".join(ADAPTIVE_SCHEDULERS + RIGID_SCHEDULERS)
-    raise SystemExit(f"unknown scheduler {name!r}; choose from: {known}")
+                                 solver=args.solver, resilience=resilience)
+        scheduler: Scheduler = SiaScheduler(
+            params, round_duration=args.round_duration)
+        if resilience is not None:
+            scheduler = ResilientScheduler(scheduler, resilience)
+        return scheduler
+    builders = {
+        "pollux": lambda: PolluxScheduler(round_duration=args.round_duration),
+        "gavel": lambda: GavelScheduler(policy=args.gavel_policy),
+        "shockwave": ShockwaveScheduler,
+        "themis": ThemisScheduler,
+        "fifo": FIFOScheduler,
+        "srtf": SRTFScheduler,
+    }
+    if name not in builders:
+        known = ", ".join(ADAPTIVE_SCHEDULERS + RIGID_SCHEDULERS)
+        raise SystemExit(f"unknown scheduler {name!r}; choose from: {known}")
+    scheduler = builders[name]()
+    if resilience is not None:
+        scheduler = ResilientScheduler(scheduler, resilience)
+    return scheduler
+
+
+def build_fault_models(args: argparse.Namespace) -> list[FaultModel]:
+    """Fault injectors requested on the command line (node crashes keep
+    riding the legacy --failure-rate path inside the simulator)."""
+    models: list[FaultModel] = []
+    if getattr(args, "straggler_rate", 0.0) > 0:
+        models.append(StragglerModel(rate=args.straggler_rate,
+                                     slowdown=args.straggler_slowdown,
+                                     duration=args.straggler_duration))
+    if getattr(args, "job_crash_rate", 0.0) > 0:
+        models.append(JobCrashModel(rate=args.job_crash_rate))
+    if getattr(args, "restore_failure_prob", 0.0) > 0:
+        models.append(CheckpointRestoreFaultModel(
+            failure_prob=args.restore_failure_prob))
+    return models
 
 
 def resolve_trace(args: argparse.Namespace) -> Trace:
@@ -86,8 +113,27 @@ def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace):
     config = SimulatorConfig(
         profiling_mode=ProfilingMode(args.profiling_mode),
         seed=args.seed, max_hours=args.max_hours,
-        node_failure_rate=args.failure_rate)
+        node_failure_rate=args.failure_rate,
+        fault_models=build_fault_models(args),
+        resilient=getattr(args, "resilient", False))
     return Simulator(cluster, scheduler, jobs, config).run()
+
+
+def _print_robustness_summary(result) -> None:
+    """One-line fault/degradation digest after a run (omitted when clean)."""
+    faults = result.fault_counts()
+    degraded = result.degraded_rounds
+    backends = {k or "?": v for k, v in result.backend_counts().items()}
+    if not faults and not degraded:
+        return
+    parts = []
+    if faults:
+        parts.append("faults: " + ", ".join(
+            f"{kind}={n}" for kind, n in sorted(faults.items())))
+    parts.append(f"degraded rounds: {degraded}/{len(result.rounds)}")
+    parts.append("backends: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(backends.items())))
+    print("; ".join(parts))
 
 
 # -- subcommands ---------------------------------------------------------------
@@ -126,6 +172,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(format_table([summarize(result).as_row()],
                        title=f"{args.scheduler} on {trace.name} "
                              f"({args.cluster})"))
+    _print_robustness_summary(result)
     if args.out:
         io.save_result(result, args.out)
         print(f"saved result to {args.out}")
@@ -180,6 +227,20 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-hours", type=float, default=1000.0)
     parser.add_argument("--failure-rate", type=float, default=0.0,
                         help="node failures per node-hour")
+    parser.add_argument("--straggler-rate", type=float, default=0.0,
+                        help="straggler onsets per node-hour")
+    parser.add_argument("--straggler-slowdown", type=float, default=0.5,
+                        help="straggling node speed factor in (0, 1]")
+    parser.add_argument("--straggler-duration", type=float, default=1800.0,
+                        help="seconds a straggler stays slow")
+    parser.add_argument("--job-crash-rate", type=float, default=0.0,
+                        help="transient job crashes per job-hour")
+    parser.add_argument("--restore-failure-prob", type=float, default=0.0,
+                        help="probability a restore round fails, in [0, 1)")
+    parser.add_argument("--resilient", action="store_true",
+                        help="solver fallback chain + carry-forward guard")
+    parser.add_argument("--solve-budget", type=float, default=5.0,
+                        help="per-round solver wall-clock budget, seconds")
     parser.add_argument("--round-duration", type=float, default=60.0)
     parser.add_argument("--p", type=float, default=-0.5,
                         help="Sia fairness power")

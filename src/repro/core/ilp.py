@@ -90,13 +90,18 @@ class AssignmentSolution:
         return used
 
 
-def solve_assignment(problem: AssignmentProblem,
-                     backend: str = "milp") -> AssignmentSolution:
-    """Solve one assignment instance with the chosen backend."""
+def solve_assignment(problem: AssignmentProblem, backend: str = "milp",
+                     time_limit: float | None = None) -> AssignmentSolution:
+    """Solve one assignment instance with the chosen backend.
+
+    ``time_limit`` (seconds) is forwarded to the MILP backend as a solver
+    time budget; a timed-out solve returns the best incumbent found, or
+    raises if none exists.  Other backends ignore it.
+    """
     start = time.perf_counter()
     if backend == "milp":
         if _HAVE_SCIPY:
-            solution = _solve_milp(problem)
+            solution = _solve_milp(problem, time_limit=time_limit)
         else:  # pragma: no cover
             solution = _solve_exact(problem)
     elif backend == "greedy":
@@ -124,10 +129,12 @@ def _validate(problem: AssignmentProblem, solution: AssignmentSolution) -> None:
 
 # -- MILP backend (HiGHS via scipy) -----------------------------------------
 
-def _solve_milp(problem: AssignmentProblem) -> AssignmentSolution:
+def _solve_milp(problem: AssignmentProblem,
+                time_limit: float | None = None) -> AssignmentSolution:
     pairs = problem.feasible_pairs()
     if not pairs:
         return AssignmentSolution({}, 0.0, 0.0)
+    pair_index = {pair: idx for idx, pair in enumerate(pairs)}
     n_vars = len(pairs)
     cost = np.array([-problem.utilities[i, j] for i, j in pairs])
 
@@ -157,14 +164,16 @@ def _solve_milp(problem: AssignmentProblem) -> AssignmentSolution:
     lb = np.zeros(n_vars)
     ub = np.ones(n_vars)
     for row_job, col in problem.forced.items():
-        idx = pairs.index((row_job, col))
-        lb[idx] = 1.0
+        lb[pair_index[(row_job, col)]] = 1.0
 
     constraints = LinearConstraint(np.vstack(rows), -np.inf, np.array(uppers))
+    options = {"time_limit": time_limit} if time_limit is not None else None
     result = milp(c=cost, constraints=constraints,
                   integrality=np.ones(n_vars),
-                  bounds=Bounds(lb, ub))
-    if result.status != 0 or result.x is None:
+                  bounds=Bounds(lb, ub), options=options)
+    # status 0 = optimal; 1 = iteration/time limit reached, in which case
+    # HiGHS may still hand back a feasible incumbent worth using.
+    if result.status not in (0, 1) or result.x is None:
         raise RuntimeError(f"MILP failed: {result.message}")
     assignment: dict[int, int] = {}
     for idx, value in enumerate(result.x):

@@ -28,6 +28,7 @@ from repro.core.ilp import AssignmentProblem, AssignmentSolution, solve_assignme
 from repro.core.types import Configuration, PolicyDecision
 
 if TYPE_CHECKING:  # avoid a circular import; JobView is only a type hint
+    from repro.core.resilience import ResilienceConfig
     from repro.schedulers.base import JobView
 
 
@@ -45,6 +46,9 @@ class SiaPolicyParams:
     solver: str = "milp"
     #: disable the restart factor (ablation).
     use_restart_factor: bool = True
+    #: when set, route the ILP through a ResilientSolver (budget + fallback
+    #: chain + circuit breaker); None keeps the direct solver call.
+    resilience: "ResilienceConfig | None" = None
 
 
 class SiaPolicy:
@@ -53,6 +57,10 @@ class SiaPolicy:
     def __init__(self, params: SiaPolicyParams | None = None):
         self.params = params or SiaPolicyParams()
         self._config_cache: tuple[int, list[Configuration]] | None = None
+        self.resilient_solver = None
+        if self.params.resilience is not None:
+            from repro.core.resilience import ResilientSolver
+            self.resilient_solver = ResilientSolver(self.params.resilience)
 
     def configurations(self, cluster: Cluster,
                        max_gpus: int | None = None) -> list[Configuration]:
@@ -163,8 +171,13 @@ class SiaPolicy:
             capacities=cluster.capacities(),
             forced=forced,
         )
-        solution: AssignmentSolution = solve_assignment(
-            problem, backend=self.params.solver)
+        if self.resilient_solver is not None:
+            solution, backend, degraded = self.resilient_solver.solve(
+                problem, primary=self.params.solver)
+        else:
+            solution: AssignmentSolution = solve_assignment(
+                problem, backend=self.params.solver)
+            backend, degraded = self.params.solver, False
 
         assignments = {
             views[i].job_id: configs[j]
@@ -172,4 +185,5 @@ class SiaPolicy:
         }
         return PolicyDecision(assignments=assignments,
                               solve_time=solution.solve_time,
-                              objective=solution.objective)
+                              objective=solution.objective,
+                              backend=backend, degraded=degraded)

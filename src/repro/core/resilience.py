@@ -1,0 +1,197 @@
+"""Resilient policy layer: solver fallback chain + scheduler guard.
+
+Figure 9 shows policy solve time growing with cluster scale, and a
+production round-based scheduler must produce *some* feasible decision
+every round (Gavel, Pollux make the same argument).  This module adds two
+degradation layers:
+
+* :class:`ResilientSolver` wraps :func:`repro.core.ilp.solve_assignment`
+  with a per-round wall-clock budget, a fallback chain
+  (``milp -> greedy -> carry``), and a circuit breaker that skips the MILP
+  for a cooldown after repeated timeouts/failures.  ``SiaPolicyParams``
+  accepts a :class:`ResilienceConfig` to route its ILP through one.
+* :class:`ResilientScheduler` wraps any scheduler: exceptions and invalid
+  :class:`~repro.schedulers.base.RoundPlan`\\ s are caught and replaced by
+  :func:`carry_forward_plan` — the previous round's still-feasible
+  allocations intersected with the surviving cluster — so one bad round
+  never kills a run.  The simulator applies the same guard when
+  ``SimulatorConfig.resilient`` is set.
+
+Both layers report what they did through ``RoundPlan.backend`` /
+``RoundPlan.degraded``, which the simulator records per round.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.core import ilp
+from repro.core.ilp import AssignmentProblem, AssignmentSolution
+from repro.core.types import Allocation
+from repro.schedulers.base import JobView, RoundPlan, Scheduler
+
+
+class SolverExhaustedError(RuntimeError):
+    """Every backend in the fallback chain failed for this round."""
+
+
+@dataclass
+class ResilienceConfig:
+    """Degradation knobs shared by the solver and scheduler wrappers."""
+
+    #: wall-clock seconds the primary solver may spend per round; also
+    #: passed to HiGHS as its time limit so the MILP stops at the budget.
+    solve_budget_s: float = 5.0
+    #: consecutive primary-solver failures/timeouts that open the breaker.
+    breaker_threshold: int = 3
+    #: rounds the breaker stays open (primary solver skipped) once tripped.
+    breaker_cooldown_rounds: int = 10
+
+    def __post_init__(self) -> None:
+        if self.solve_budget_s <= 0:
+            raise ValueError("solve_budget_s must be positive")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_rounds < 1:
+            raise ValueError("breaker_cooldown_rounds must be >= 1")
+
+
+class ResilientSolver:
+    """Budgeted, circuit-broken wrapper around ``solve_assignment``.
+
+    :meth:`solve` never raises on solver trouble: it degrades through the
+    chain primary -> greedy and returns ``(solution, backend, degraded)``.
+    Only when *every* backend fails does it raise
+    :class:`SolverExhaustedError`, signalling the caller to carry forward.
+    """
+
+    def __init__(self, config: ResilienceConfig | None = None):
+        self.config = config or ResilienceConfig()
+        self._consecutive_failures = 0
+        self._breaker_open_rounds = 0
+        #: backend name -> rounds served by it (plus breaker trip count).
+        self.stats: dict[str, int] = {"breaker_trips": 0}
+
+    @property
+    def breaker_open(self) -> bool:
+        return self._breaker_open_rounds > 0
+
+    def _count(self, backend: str) -> None:
+        self.stats[backend] = self.stats.get(backend, 0) + 1
+
+    def _record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.config.breaker_threshold:
+            self._breaker_open_rounds = self.config.breaker_cooldown_rounds
+            self.stats["breaker_trips"] += 1
+            self._consecutive_failures = 0
+
+    def solve(self, problem: AssignmentProblem, primary: str = "milp",
+              ) -> tuple[AssignmentSolution, str, bool]:
+        """Solve with fallback; returns (solution, backend_used, degraded)."""
+        budget = self.config.solve_budget_s
+        if self._breaker_open_rounds > 0:
+            self._breaker_open_rounds -= 1
+        else:
+            try:
+                start = time.perf_counter()
+                solution = ilp.solve_assignment(problem, backend=primary,
+                                                time_limit=budget)
+                elapsed = time.perf_counter() - start
+                if elapsed > budget:
+                    # Budget overrun: keep the (possibly incumbent) answer
+                    # but count it toward the breaker and mark the round.
+                    self._record_failure()
+                    self._count(primary)
+                    return solution, primary, True
+                self._consecutive_failures = 0
+                self._count(primary)
+                return solution, primary, False
+            except Exception:
+                self._record_failure()
+        if primary != "greedy":
+            try:
+                solution = ilp.solve_assignment(problem, backend="greedy")
+                self._count("greedy")
+                return solution, "greedy", True
+            except Exception:
+                pass
+        self._count("exhausted")
+        raise SolverExhaustedError(
+            f"all solver backends failed (primary={primary!r}); "
+            "caller should carry forward the previous round")
+
+
+def carry_forward_plan(previous: dict[str, Allocation], cluster: Cluster,
+                       views: list[JobView]) -> RoundPlan:
+    """Last-resort plan: keep the previous round's allocations that are
+    still feasible on the (possibly shrunken) cluster.
+
+    An allocation survives only if the job is still active and every node
+    it touches exists, has the right GPU type, and is not over-subscribed
+    once earlier survivors are counted.  The result always passes
+    ``RoundPlan.validate``.
+    """
+    nodes = {n.node_id: n for n in cluster.nodes}
+    active_ids = {v.job_id for v in views}
+    used: dict[int, int] = {}
+    allocations: dict[str, Allocation] = {}
+    for job_id in sorted(previous):
+        alloc = previous[job_id]
+        if job_id not in active_ids or alloc is None:
+            continue
+        feasible = True
+        for node_id, count in alloc.gpus_per_node:
+            node = nodes.get(node_id)
+            if node is None or node.gpu_type != alloc.gpu_type \
+                    or used.get(node_id, 0) + count > node.num_gpus:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        for node_id, count in alloc.gpus_per_node:
+            used[node_id] = used.get(node_id, 0) + count
+        allocations[job_id] = alloc
+    return RoundPlan(allocations=allocations, solve_time=0.0,
+                     backend="carry", degraded=True)
+
+
+class ResilientScheduler(Scheduler):
+    """Wraps any scheduler so a bad round degrades instead of crashing.
+
+    ``decide`` runs the inner scheduler and validates its plan; any
+    exception (solver blow-up, placement bug, invalid plan) is caught and
+    replaced with :func:`carry_forward_plan`.  Estimator construction and
+    round cadence delegate to the inner scheduler.
+    """
+
+    def __init__(self, inner: Scheduler,
+                 config: ResilienceConfig | None = None):
+        self.inner = inner
+        self.config = config or ResilienceConfig()
+        self.name = f"resilient-{inner.name}"
+        self.round_duration = inner.round_duration
+        self.oracle_estimators = inner.oracle_estimators
+        #: rounds rescued by carry-forward after an inner failure.
+        self.caught_failures = 0
+        #: most recent inner exception, for postmortems.
+        self.last_error: Exception | None = None
+
+    def make_estimator(self, job, cluster, profiling_mode) -> object:
+        return self.inner.make_estimator(job, cluster, profiling_mode)
+
+    def decide(self, views: list[JobView], cluster: Cluster,
+               previous: dict[str, Allocation], now: float) -> RoundPlan:
+        try:
+            plan = self.inner.decide(views, cluster, previous, now)
+            plan.validate(cluster)
+            return plan
+        except Exception as exc:
+            self.caught_failures += 1
+            self.last_error = exc
+            return carry_forward_plan(previous, cluster, views)
+
+    def describe(self) -> str:
+        return f"{self.name} (round={self.round_duration:.0f}s, guarded)"

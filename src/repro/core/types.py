@@ -140,3 +140,7 @@ class PolicyDecision:
     solve_time: float = 0.0
     #: objective value reached by the solver, if applicable.
     objective: float | None = None
+    #: solver backend that produced the decision ('' when not reported).
+    backend: str = ""
+    #: True when the decision came from a degraded mode (solver fallback).
+    degraded: bool = False

@@ -14,7 +14,8 @@ from typing import Any
 from repro.core.types import AdaptivityMode
 from repro.jobs.hybrid import HybridSpec
 from repro.jobs.job import Job
-from repro.sim.telemetry import JobRecord, RoundRecord, SimulationResult
+from repro.sim.telemetry import (FaultEvent, JobRecord, RoundRecord,
+                                 SimulationResult)
 from repro.workloads.trace import Trace
 
 FORMAT_VERSION = 1
@@ -110,7 +111,7 @@ def _record_to_dict(record: JobRecord) -> dict[str, Any]:
 
 
 def _round_to_dict(record: RoundRecord) -> dict[str, Any]:
-    return {
+    data: dict[str, Any] = {
         "time": record.time,
         "active_jobs": record.active_jobs,
         "running_jobs": record.running_jobs,
@@ -119,6 +120,18 @@ def _round_to_dict(record: RoundRecord) -> dict[str, Any]:
                         for jid, alloc in record.allocations.items()},
         "gpus_used": dict(record.gpus_used),
     }
+    # Robustness telemetry is only written when present, so results from
+    # fault-free runs stay byte-compatible with older readers.
+    if record.backend:
+        data["backend"] = record.backend
+    if record.degraded:
+        data["degraded"] = True
+    if record.fault_events:
+        data["fault_events"] = [{
+            "kind": e.kind, "time": e.time,
+            "target": e.target, "detail": e.detail,
+        } for e in record.fault_events]
+    return data
 
 
 def save_result(result: SimulationResult, path: str | Path, *,
@@ -165,7 +178,13 @@ def load_result(path: str | Path) -> SimulationResult:
             running_jobs=item["running_jobs"], solve_time=item["solve_time"],
             allocations={jid: (alloc[0], int(alloc[1]))
                          for jid, alloc in item["allocations"].items()},
-            gpus_used={t: int(n) for t, n in item["gpus_used"].items()}))
+            gpus_used={t: int(n) for t, n in item["gpus_used"].items()},
+            backend=item.get("backend", ""),
+            degraded=item.get("degraded", False),
+            fault_events=[FaultEvent(kind=e["kind"], time=e["time"],
+                                     target=e["target"],
+                                     detail=e.get("detail", ""))
+                          for e in item.get("fault_events", [])]))
     return result
 
 

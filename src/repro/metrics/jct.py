@@ -34,6 +34,10 @@ class SummaryMetrics:
     max_contention: int
     avg_restarts: float
     median_solve_time: float
+    #: rounds that ran on a fallback/carried plan (0 without faults).
+    degraded_rounds: int = 0
+    #: injected fault events over the whole run (0 without faults).
+    fault_events: int = 0
 
     def as_row(self) -> dict[str, float | int | str]:
         return {
@@ -48,6 +52,8 @@ class SummaryMetrics:
             "max_contention": self.max_contention,
             "avg_restarts": round(self.avg_restarts, 2),
             "median_solve_s": round(self.median_solve_time, 4),
+            "degraded": self.degraded_rounds,
+            "faults": self.fault_events,
         }
 
 
@@ -68,6 +74,8 @@ def summarize(result: SimulationResult) -> SummaryMetrics:
         max_contention=max(active_counts) if active_counts else 0,
         avg_restarts=float(np.mean([j.num_restarts for j in result.jobs])),
         median_solve_time=result.median_solve_time(),
+        degraded_rounds=result.degraded_rounds,
+        fault_events=result.total_fault_events,
     )
 
 

@@ -59,6 +59,12 @@ class RoundPlan:
     solve_time: float = 0.0
     #: solver objective, when meaningful.
     objective: float | None = None
+    #: solver backend that produced the plan ('' when not reported;
+    #: 'carry' marks a carried-forward fallback plan).
+    backend: str = ""
+    #: True when the plan came from a degraded mode (fallback backend,
+    #: open circuit breaker, or carry-forward).
+    degraded: bool = False
 
     def validate(self, cluster: Cluster) -> None:
         """Raise if the plan over-subscribes any node or mixes types."""

@@ -38,4 +38,6 @@ class SiaScheduler(Scheduler):
                                        pinned=pinned)
         return RoundPlan(allocations=placement.allocations,
                          solve_time=decision.solve_time,
-                         objective=decision.objective)
+                         objective=decision.objective,
+                         backend=decision.backend,
+                         degraded=decision.degraded)

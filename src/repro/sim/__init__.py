@@ -2,10 +2,16 @@
 
 from repro.sim.engine import Simulator, SimulatorConfig, simulate
 from repro.sim.executor import ExecutionModel, RoundExecution
-from repro.sim.telemetry import JobRecord, RoundRecord, SimulationResult
+from repro.sim.faults import (CheckpointRestoreFaultModel, FaultContext,
+                              FaultModel, JobCrashModel, NodeCrashModel,
+                              StragglerModel)
+from repro.sim.telemetry import (FaultEvent, JobRecord, RoundRecord,
+                                 SimulationResult)
 
 __all__ = [
     "Simulator", "SimulatorConfig", "simulate",
     "ExecutionModel", "RoundExecution",
-    "JobRecord", "RoundRecord", "SimulationResult",
+    "FaultModel", "FaultContext", "NodeCrashModel", "StragglerModel",
+    "JobCrashModel", "CheckpointRestoreFaultModel",
+    "FaultEvent", "JobRecord", "RoundRecord", "SimulationResult",
 ]

@@ -4,16 +4,22 @@ Time advances in scheduler rounds.  Each round:
 
 1. admit newly-arrived jobs (creating and, in Bootstrap mode, profiling
    their Goodput Estimators);
-2. ask the scheduler for a :class:`~repro.schedulers.base.RoundPlan`;
-3. apply allocation changes, charging model-specific checkpoint-restore
+2. inject faults (:mod:`repro.sim.faults`): down nodes evict their jobs to
+   the last epoch checkpoint, crashed jobs roll back in place, failed
+   restores pay the restart delay again, stragglers slow the executor's
+   ground-truth rates;
+3. ask the scheduler for a :class:`~repro.schedulers.base.RoundPlan` over
+   the surviving nodes (guarded by carry-forward when
+   ``SimulatorConfig.resilient`` is set);
+4. apply allocation changes, charging model-specific checkpoint-restore
    delays (the paper replaced the original simulator's constant delay with
    per-model delays — so do we);
-4. advance every running job: the executor picks a batch plan from the
+5. advance every running job: the executor picks a batch plan from the
    job's *estimated* models, but progress accrues at the *ground-truth*
    goodput of that plan;
-5. report observations (iteration time, gradient noise scale) back to the
-   estimator — the online refinement loop of Figure 3;
-6. record telemetry.
+6. report observations (iteration time, gradient noise scale) back to the
+   estimator — the online refinement loop of Figure 3 — and record
+   telemetry (allocations, solve time, fault events, degraded rounds).
 
 Jobs complete mid-round when their integrated goodput reaches the target;
 their GPUs free up at the start of the next round (matching round-based
@@ -25,14 +31,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.cluster.cluster import Cluster
+from repro.core.resilience import carry_forward_plan
 from repro.core.types import Allocation, ProfilingMode
 from repro.jobs.job import Job
 from repro.perf.goodput import BatchPlan
 from repro.schedulers.base import JobView, Scheduler
 from repro.sim.executor import ExecutionModel
+from repro.sim.faults import FaultContext, FaultModel, NodeCrashModel
 from repro.sim.telemetry import JobRecord, RoundRecord, SimulationResult
 
 
@@ -49,6 +55,7 @@ class SimulatorConfig:
     #: hard simulation cap, hours.
     max_hours: float = 1000.0
     #: worker-failure injection: expected failures per node-hour (0 = off).
+    #: Shorthand for appending a NodeCrashModel to ``fault_models``.
     node_failure_rate: float = 0.0
     #: seconds a failed node stays down before rejoining.
     node_repair_time: float = 1800.0
@@ -56,6 +63,12 @@ class SimulatorConfig:
     #: 1/epochs_per_job of their work (Section 3.5: "after every epoch, Sia
     #: checkpoints model weights and optimizer states to disk").
     epochs_per_job: int = 30
+    #: composable fault injectors (see :mod:`repro.sim.faults`); models
+    #: without an explicit seed are bound to one derived from ``seed``.
+    fault_models: list[FaultModel] = field(default_factory=list)
+    #: catch scheduler exceptions / invalid plans and carry forward the
+    #: previous round instead of aborting the run.
+    resilient: bool = False
 
 
 @dataclass
@@ -99,10 +112,25 @@ class Simulator:
         self._execution = ExecutionModel(seed=self.config.seed,
                                          rate_noise=self.config.rate_noise,
                                          obs_noise=self.config.obs_noise)
-        self._failure_rng = np.random.default_rng(self.config.seed + 1)
-        #: node id -> simulation time at which the node comes back up.
-        self._down_until: dict[int, float] = {}
+        # Fault subsystem: legacy node_failure_rate becomes a NodeCrashModel
+        # seeded exactly as the old inline sampler (seed + 1) so existing
+        # configs reproduce bit-identical runs.
+        self._fault_models: list[FaultModel] = []
+        if self.config.node_failure_rate > 0:
+            self._fault_models.append(NodeCrashModel(
+                rate=self.config.node_failure_rate,
+                repair_time=self.config.node_repair_time,
+                seed=self.config.seed + 1))
+        for idx, model in enumerate(self.config.fault_models):
+            seed = model.seed if model.seed is not None \
+                else self.config.seed + 1009 + 31 * idx
+            model.bind(seed)  # re-seeding also resets state for reuse
+            self._fault_models.append(model)
+        #: per-round map job id -> straggler speed factor (<= 1.0).
+        self._round_speed: dict[str, float] = {}
         self.total_failures = 0
+        #: rounds rescued by the simulator's carry-forward guard.
+        self.caught_scheduler_failures = 0
 
     # -- main loop -------------------------------------------------------------
 
@@ -134,16 +162,26 @@ class Simulator:
                 now += rounds_ahead * dt
                 continue
 
-            # 2. worker failures (Section 3.5): failed nodes drop out for
-            # repair; jobs on them roll back to their last epoch checkpoint.
-            cluster_view = self._apply_failures(active, now)
+            # 2. fault injection (Section 3.5): down nodes evict their jobs
+            # to the last epoch checkpoint; crashed jobs roll back in place;
+            # failed restores pay the restart delay again; stragglers slow
+            # the ground-truth rates.
+            cluster_view, fault_events = self._inject_faults(active, now, dt)
 
             # 3. scheduling decision over the surviving nodes
             previous = {jid: rt.allocation for jid, rt in active.items()
                         if rt.allocation is not None}
             views = [self._view(rt, now) for rt in active.values()]
-            plan = self.scheduler.decide(views, cluster_view, previous, now)
-            plan.validate(cluster_view)
+            try:
+                plan = self.scheduler.decide(views, cluster_view, previous, now)
+                plan.validate(cluster_view)
+            except Exception:
+                if not self.config.resilient:
+                    raise
+                # One bad round must not kill the run: keep the previous
+                # round's still-feasible allocations.
+                self.caught_scheduler_failures += 1
+                plan = carry_forward_plan(previous, cluster_view, views)
 
             # 4. apply allocation changes
             for job_id, rt in active.items():
@@ -156,12 +194,34 @@ class Simulator:
                     rt.restart_remaining = rt.job.restart_delay
                     if rt.first_start is None:
                         rt.first_start = now
+                else:
+                    # A stale restore delay must never leak into the job's
+                    # next allocation.
+                    rt.restart_remaining = 0.0
                 rt.allocation = new
 
-            # 4. advance one round
+            # 4b. failed restore attempts: jobs paying a restore delay this
+            # round may fail the restore and owe the full delay again.
+            if self._fault_models:
+                restoring = sorted(
+                    jid for jid, rt in active.items()
+                    if rt.allocation is not None and rt.restart_remaining > 0)
+                if restoring:
+                    for model in self._fault_models:
+                        for event in model.sample_restore_failures(
+                                restoring, now):
+                            job_id = event.target.split(":", 1)[-1]
+                            rt = active[job_id]
+                            rt.restart_remaining += rt.job.restart_delay
+                            rt.num_restarts += 1
+                            fault_events.append(event)
+
+            # 5. advance one round
             contention = len(active)
             record = RoundRecord(time=now, active_jobs=contention,
-                                 running_jobs=0, solve_time=plan.solve_time)
+                                 running_jobs=0, solve_time=plan.solve_time,
+                                 backend=plan.backend, degraded=plan.degraded,
+                                 fault_events=fault_events)
             done_ids: list[str] = []
             for job_id, rt in active.items():
                 rt.contention_sum += contention
@@ -180,7 +240,7 @@ class Simulator:
             result.rounds.append(record)
             now += dt
 
-        # 5. finalize records (censored jobs included)
+        # 6. finalize records (censored jobs included)
         result.end_time = now
         result.node_failures = self.total_failures
         for rt in finished + list(active.values()):
@@ -191,49 +251,75 @@ class Simulator:
 
     # -- helpers ---------------------------------------------------------------
 
-    def _apply_failures(self, active: dict[str, _JobRuntime],
-                        now: float) -> Cluster:
-        """Sample node failures, evict affected jobs to their last epoch
-        checkpoint, and return the cluster view of surviving nodes."""
-        if self.config.node_failure_rate <= 0 and not self._down_until:
-            return self.cluster
-        # Recover repaired nodes.
-        self._down_until = {nid: t for nid, t in self._down_until.items()
-                            if t > now}
-        # Sample new failures among up nodes.
-        prob = self.config.node_failure_rate \
-            * self.scheduler.round_duration / 3600.0
-        if prob > 0:
-            for node in self.cluster.nodes:
-                if node.node_id in self._down_until:
+    def _rollback(self, rt: _JobRuntime) -> None:
+        """Roll a job back to its last epoch checkpoint (Section 3.5)."""
+        epoch = rt.job.target_samples / max(1, self.config.epochs_per_job)
+        rt.progress = (rt.progress // epoch) * epoch
+
+    def _inject_faults(self, active: dict[str, _JobRuntime], now: float,
+                       dt: float) -> tuple[Cluster, list]:
+        """Sample every fault model, apply the aggregate to jobs, and
+        return (cluster view of surviving nodes, fault events)."""
+        self._round_speed = {}
+        if not self._fault_models:
+            return self.cluster, []
+        ctx = FaultContext(
+            now=now, dt=dt, cluster=self.cluster,
+            running={jid: rt.allocation for jid, rt in active.items()
+                     if rt.allocation is not None},
+            restoring=frozenset(jid for jid, rt in active.items()
+                                if rt.allocation is not None
+                                and rt.restart_remaining > 0))
+        for model in self._fault_models:
+            model.sample(ctx)
+        self.total_failures += sum(1 for e in ctx.events
+                                   if e.kind == NodeCrashModel.kind)
+
+        down = set(ctx.down_until)
+        if down:
+            # Evict jobs touching a down node; roll back to the checkpoint.
+            for rt in active.values():
+                if rt.allocation is None:
                     continue
-                if self._failure_rng.random() < prob:
-                    self._down_until[node.node_id] = \
-                        now + self.config.node_repair_time
-                    self.total_failures += 1
-        if not self._down_until:
-            return self.cluster
-        down = set(self._down_until)
-        # Evict jobs touching a down node; roll back to the epoch checkpoint.
-        for rt in active.values():
-            if rt.allocation is None:
-                continue
-            if any(nid in down for nid in rt.allocation.node_ids):
-                epoch = rt.job.target_samples / max(1, self.config.epochs_per_job)
-                rt.progress = (rt.progress // epoch) * epoch
-                rt.allocation = None
-                rt.num_restarts += 1
+                if any(nid in down for nid in rt.allocation.node_ids):
+                    self._rollback(rt)
+                    rt.allocation = None
+                    rt.restart_remaining = 0.0
+                    rt.num_restarts += 1
+
+        # Transient job crashes: roll back in place and pay a fresh restore.
+        for job_id in sorted(ctx.crashed_jobs):
+            rt = active.get(job_id)
+            if rt is None or rt.allocation is None:
+                continue  # already evicted (or finished) this round
+            self._rollback(rt)
+            rt.restart_remaining = rt.job.restart_delay
+            rt.num_restarts += 1
+
+        # Straggler slowdowns, felt through the ground-truth rates: a job
+        # runs at the pace of its slowest surviving node.
+        if ctx.node_speed:
+            for job_id, rt in active.items():
+                if rt.allocation is None:
+                    continue
+                factor = ctx.job_speed(rt.allocation)
+                if factor < 1.0:
+                    self._round_speed[job_id] = factor
+
+        if not down:
+            return self.cluster, ctx.events
         up_nodes = tuple(n for n in self.cluster.nodes
                          if n.node_id not in down)
         if not up_nodes:
             # Degenerate case: every node failed at once.  Repair the node
             # closest to recovery immediately so the cluster view is never
             # empty (schedulers cannot operate on zero nodes).
-            first_back = min(self._down_until, key=self._down_until.get)
-            del self._down_until[first_back]
+            first_back = min(ctx.down_until, key=ctx.down_until.get)
+            for model in self._fault_models:
+                model.revive(first_back)
             up_nodes = tuple(n for n in self.cluster.nodes
                              if n.node_id == first_back)
-        return Cluster(nodes=up_nodes)
+        return Cluster(nodes=up_nodes), ctx.events
 
     def _view(self, rt: _JobRuntime, now: float) -> JobView:
         age = (now - rt.first_start) if rt.first_start is not None else 0.0
@@ -269,7 +355,9 @@ class Simulator:
         if run_time <= 0:
             rt.charge_gpus(dt)
             return False
-        execution = self._execution.execute(rt.job, rt.allocation, plan)
+        speed = self._round_speed.get(rt.job.job_id, 1.0)
+        execution = self._execution.execute(rt.job, rt.allocation, plan,
+                                            speed=speed)
         if execution is None or execution.goodput <= 0:
             rt.charge_gpus(dt)
             return False

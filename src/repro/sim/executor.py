@@ -66,16 +66,22 @@ class ExecutionModel:
         return self._bias[key]
 
     def execute(self, job: Job, allocation: Allocation,
-                plan: BatchPlan | None) -> RoundExecution | None:
+                plan: BatchPlan | None,
+                speed: float = 1.0) -> RoundExecution | None:
         """True rates for a job running one round on ``allocation``.
 
         ``plan`` is the executor's batch decision (from the job's estimator);
-        hybrid jobs have a fixed plan and pass None.  Returns None if the
+        hybrid jobs have a fixed plan and pass None.  ``speed`` is an extra
+        ground-truth rate multiplier in (0, 1] — e.g. a straggling node
+        slowing the whole synchronous job — felt in both progress and the
+        iteration times reported back to the estimator.  Returns None if the
         plan cannot run at all (defensive; the estimator's memory knowledge
         should prevent this).
         """
+        if not 0 < speed <= 1:
+            raise ValueError("speed must be in (0, 1]")
         config = allocation.configuration()
-        bias = self._hardware_bias(job.job_id, allocation.gpu_type)
+        bias = self._hardware_bias(job.job_id, allocation.gpu_type) * speed
         if job.is_hybrid:
             return self._execute_hybrid(job, allocation, bias)
         if job.workload == "latency_inference":

@@ -1,0 +1,277 @@
+"""Pluggable fault injection (Section 3.5 robustness, generalized).
+
+The simulator used to hard-code one fault model — whole-node crashes — in
+``Simulator._apply_failures``.  This module turns fault injection into a
+composable subsystem: a :class:`FaultModel` samples faults each round into a
+shared :class:`FaultContext`, and the engine applies the aggregate (evicting
+jobs on down nodes, rolling crashed jobs back to their epoch checkpoint,
+re-charging failed restores, slowing stragglers through the executor's
+ground-truth rates).
+
+Models are independent and composable: pass any list via
+``simulate(..., fault_models=[...])``.  Each model owns a seeded RNG, so a
+run is deterministic given (config seed, model seeds); a model constructed
+without an explicit seed is bound to a seed derived from the simulation
+seed and its position in the list.
+
+Built-in models:
+
+* :class:`NodeCrashModel` — whole nodes fail and stay down for a repair
+  window; jobs touching them are evicted to their last epoch checkpoint.
+  This is the legacy ``node_failure_rate`` behaviour, refactored out of the
+  engine bit-for-bit.
+* :class:`StragglerModel` — nodes degrade to a fraction of nominal speed
+  for a window.  Synchronous data-parallel training runs at the pace of the
+  slowest worker, so a job's speed factor is the minimum over its nodes.
+* :class:`JobCrashModel` — transient job-level failures (OOM, NCCL hiccup,
+  bad host process) that roll the job back to its last epoch checkpoint and
+  charge a restart, without taking any node down.
+* :class:`CheckpointRestoreFaultModel` — a restore attempt fails partway
+  and the job pays the full restart delay again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.types import Allocation
+from repro.sim.telemetry import FaultEvent
+
+
+@dataclass
+class FaultContext:
+    """One round's aggregate fault state, mutated in turn by each model.
+
+    Models *add* to the aggregate fields; the engine applies them after
+    every model has sampled.  ``running`` maps job id -> current allocation
+    for jobs holding GPUs when the round was planned; ``restoring`` lists
+    running jobs still paying a checkpoint-restore delay.
+    """
+
+    now: float
+    dt: float
+    cluster: Cluster
+    running: dict[str, Allocation] = field(default_factory=dict)
+    restoring: frozenset[str] = frozenset()
+    #: node id -> simulation time at which the node comes back up.
+    down_until: dict[int, float] = field(default_factory=dict)
+    #: node id -> multiplicative speed factor in (0, 1]; absent means 1.0.
+    node_speed: dict[int, float] = field(default_factory=dict)
+    #: jobs that suffer a transient crash this round.
+    crashed_jobs: set[str] = field(default_factory=set)
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def mark_down(self, node_id: int, until: float) -> None:
+        """Merge a node outage (a node down twice stays down longest)."""
+        current = self.down_until.get(node_id)
+        if current is None or until > current:
+            self.down_until[node_id] = until
+
+    def slow_node(self, node_id: int, factor: float) -> None:
+        """Merge a slowdown; overlapping slowdowns keep the worst factor."""
+        current = self.node_speed.get(node_id, 1.0)
+        self.node_speed[node_id] = min(current, factor)
+
+    def job_speed(self, allocation: Allocation) -> float:
+        """Speed factor for a job: gated by its slowest node."""
+        if not self.node_speed:
+            return 1.0
+        return min((self.node_speed.get(nid, 1.0)
+                    for nid in allocation.node_ids), default=1.0)
+
+
+class FaultModel:
+    """Base class: a seeded, per-round fault sampler.
+
+    Subclasses override :meth:`sample` (and optionally :meth:`revive`).
+    ``seed=None`` defers seeding to the simulator, which binds a seed
+    derived from the run's seed and the model's position in the list.
+    """
+
+    #: tag used in telemetry events and repr.
+    kind: str = "fault"
+
+    def __init__(self, seed: int | None = None):
+        self.seed = seed
+        self._rng: np.random.Generator | None = None
+        if seed is not None:
+            self.bind(seed)
+
+    def bind(self, seed: int) -> None:
+        """(Re)seed the model; called by the simulator before the run."""
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear mutable state (outage windows etc.); override as needed."""
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise RuntimeError(f"{type(self).__name__} was never seeded; "
+                               "pass seed= or let the simulator bind one")
+        return self._rng
+
+    def sample(self, ctx: FaultContext) -> None:
+        """Sample this round's faults into ``ctx`` (override)."""
+
+    def sample_restore_failures(self, restoring: list[str],
+                                now: float) -> list[FaultEvent]:
+        """Called after allocations are applied, with the (sorted) ids of
+        jobs paying a checkpoint-restore delay this round.  Return one
+        event per failed restore attempt; the engine charges the job the
+        full restart delay again (override)."""
+        return []
+
+    def revive(self, node_id: int) -> None:
+        """Forget any outage for ``node_id`` (degenerate all-down rescue)."""
+
+    @staticmethod
+    def _per_round_prob(rate_per_hour: float, dt: float) -> float:
+        return rate_per_hour * dt / 3600.0
+
+
+class NodeCrashModel(FaultModel):
+    """Whole-node crash-and-repair (the paper's Section 3.5 fault model).
+
+    Each up node fails with probability ``rate * dt / 3600`` per round and
+    stays down ``repair_time`` seconds.  Behaviour (including RNG stream
+    consumption) matches the legacy engine implementation exactly, so runs
+    driven by ``node_failure_rate`` are bit-identical to the seed repo.
+    """
+
+    kind = "node_crash"
+
+    def __init__(self, rate: float = 0.1, repair_time: float = 1800.0,
+                 seed: int | None = None):
+        if rate < 0:
+            raise ValueError("failure rate must be non-negative")
+        self.rate = rate
+        self.repair_time = repair_time
+        self._down_until: dict[int, float] = {}
+        super().__init__(seed)
+
+    def reset(self) -> None:
+        self._down_until = {}
+
+    def revive(self, node_id: int) -> None:
+        self._down_until.pop(node_id, None)
+
+    def sample(self, ctx: FaultContext) -> None:
+        # Recover repaired nodes.
+        self._down_until = {nid: t for nid, t in self._down_until.items()
+                            if t > ctx.now}
+        prob = self._per_round_prob(self.rate, ctx.dt)
+        if prob > 0:
+            for node in ctx.cluster.nodes:
+                if node.node_id in self._down_until:
+                    continue
+                if self.rng.random() < prob:
+                    until = ctx.now + self.repair_time
+                    self._down_until[node.node_id] = until
+                    ctx.events.append(FaultEvent(
+                        kind=self.kind, time=ctx.now,
+                        target=f"node:{node.node_id}",
+                        detail=f"down until t={until:.0f}s"))
+        for node_id, until in self._down_until.items():
+            ctx.mark_down(node_id, until)
+
+
+class StragglerModel(FaultModel):
+    """Nodes degrade to ``slowdown`` of nominal speed for a window.
+
+    The slowdown is felt through the executor's ground-truth rates: jobs on
+    a straggling node run (and observe) proportionally slower iteration
+    times, so estimators see the degradation too.  No jobs are evicted.
+    """
+
+    kind = "straggler"
+
+    def __init__(self, rate: float = 0.2, slowdown: float = 0.5,
+                 duration: float = 1800.0, seed: int | None = None):
+        if rate < 0:
+            raise ValueError("straggler rate must be non-negative")
+        if not 0 < slowdown <= 1:
+            raise ValueError("slowdown must be in (0, 1]")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.rate = rate
+        self.slowdown = slowdown
+        self.duration = duration
+        self._slow_until: dict[int, float] = {}
+        super().__init__(seed)
+
+    def reset(self) -> None:
+        self._slow_until = {}
+
+    def sample(self, ctx: FaultContext) -> None:
+        self._slow_until = {nid: t for nid, t in self._slow_until.items()
+                            if t > ctx.now}
+        prob = self._per_round_prob(self.rate, ctx.dt)
+        if prob > 0:
+            for node in ctx.cluster.nodes:
+                if node.node_id in self._slow_until:
+                    continue
+                if self.rng.random() < prob:
+                    self._slow_until[node.node_id] = ctx.now + self.duration
+                    ctx.events.append(FaultEvent(
+                        kind=self.kind, time=ctx.now,
+                        target=f"node:{node.node_id}",
+                        detail=f"speed x{self.slowdown:.2f} "
+                               f"for {self.duration:.0f}s"))
+        for node_id in self._slow_until:
+            ctx.slow_node(node_id, self.slowdown)
+
+
+class JobCrashModel(FaultModel):
+    """Transient job failures: roll back to the last epoch checkpoint and
+    pay the restart delay, without taking a node down."""
+
+    kind = "job_crash"
+
+    def __init__(self, rate: float = 0.2, seed: int | None = None):
+        if rate < 0:
+            raise ValueError("job crash rate must be non-negative")
+        self.rate = rate
+        super().__init__(seed)
+
+    def sample(self, ctx: FaultContext) -> None:
+        prob = self._per_round_prob(self.rate, ctx.dt)
+        if prob <= 0:
+            return
+        for job_id in sorted(ctx.running):
+            if self.rng.random() < prob:
+                ctx.crashed_jobs.add(job_id)
+                ctx.events.append(FaultEvent(
+                    kind=self.kind, time=ctx.now, target=f"job:{job_id}",
+                    detail="rolled back to epoch checkpoint"))
+
+
+class CheckpointRestoreFaultModel(FaultModel):
+    """Checkpoint restores that fail partway.
+
+    Each round a job spends paying a restore delay, the attempt fails with
+    probability ``failure_prob`` and the job is charged the full restart
+    delay again on top of what remains.  With ``failure_prob < 1`` the job
+    eventually restores (geometric number of attempts)."""
+
+    kind = "restore_failure"
+
+    def __init__(self, failure_prob: float = 0.1, seed: int | None = None):
+        if not 0 <= failure_prob < 1:
+            raise ValueError("failure_prob must be in [0, 1)")
+        self.failure_prob = failure_prob
+        super().__init__(seed)
+
+    def sample_restore_failures(self, restoring: list[str],
+                                now: float) -> list[FaultEvent]:
+        if self.failure_prob <= 0:
+            return []
+        return [FaultEvent(kind=self.kind, time=now, target=f"job:{job_id}",
+                           detail="restore failed; paying restart delay again")
+                for job_id in restoring
+                if self.rng.random() < self.failure_prob]

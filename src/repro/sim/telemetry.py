@@ -9,6 +9,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded by the fault subsystem.
+
+    ``kind`` is a short tag (``node_crash``, ``straggler``, ``job_crash``,
+    ``restore_failure``); ``target`` names the node or job hit; ``detail``
+    carries model-specific context (e.g. slowdown factor, repair time).
+    """
+
+    kind: str
+    time: float
+    target: str
+    detail: str = ""
+
+
 @dataclass
 class JobRecord:
     """Final accounting for one job."""
@@ -60,6 +75,14 @@ class RoundRecord:
     allocations: dict[str, tuple[str, int]] = field(default_factory=dict)
     #: GPUs in use per type.
     gpus_used: dict[str, int] = field(default_factory=dict)
+    #: solver/plan backend that produced this round ('' when the scheduler
+    #: did not report one; 'carry' marks a carried-forward plan).
+    backend: str = ""
+    #: True when the round ran in a degraded mode (solver fallback, carried
+    #: plan, or a caught scheduler failure).
+    degraded: bool = False
+    #: faults injected while planning this round.
+    fault_events: list[FaultEvent] = field(default_factory=list)
 
 
 @dataclass
@@ -117,3 +140,33 @@ class SimulationResult:
         if not times:
             return 0.0
         return times[len(times) // 2]
+
+    # -- robustness telemetry --------------------------------------------------
+
+    @property
+    def degraded_rounds(self) -> int:
+        """Rounds that ran on a fallback/carried plan (requires rounds)."""
+        return sum(1 for r in self.rounds if r.degraded)
+
+    @property
+    def total_fault_events(self) -> int:
+        return sum(len(r.fault_events) for r in self.rounds)
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected faults by kind, over the whole run."""
+        counts: dict[str, int] = {}
+        for rnd in self.rounds:
+            for event in rnd.fault_events:
+                counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def backend_counts(self) -> dict[str, int]:
+        """Rounds by reported plan backend ('' = backend not reported)."""
+        counts: dict[str, int] = {}
+        for rnd in self.rounds:
+            counts[rnd.backend] = counts.get(rnd.backend, 0) + 1
+        return counts
+
+    def fault_timeline(self) -> list[FaultEvent]:
+        """Every injected fault in simulation-time order."""
+        return [event for rnd in self.rounds for event in rnd.fault_events]

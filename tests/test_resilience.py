@@ -1,0 +1,288 @@
+"""Tests for the resilient policy layer: solver fallback chain, circuit
+breaker, carry-forward plans, and the end-to-end chaos scenario."""
+
+import random
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeGroup
+from repro.core import ilp
+from repro.core.ilp import AssignmentProblem
+from repro.core.policy import SiaPolicyParams
+from repro.core.resilience import (ResilienceConfig, ResilientScheduler,
+                                   ResilientSolver, SolverExhaustedError,
+                                   carry_forward_plan)
+from repro.core.types import Allocation
+from repro.jobs.job import make_job
+from repro.schedulers import SiaScheduler
+from repro.schedulers.base import RoundPlan, Scheduler
+from repro.sim import (JobCrashModel, NodeCrashModel, StragglerModel,
+                       simulate)
+
+
+def problem(n_jobs=3):
+    """A small feasible instance: per-job utilities over 2 configs."""
+    utilities = np.array([[1.0 + i, 2.0 + i] for i in range(n_jobs)])
+    return AssignmentProblem(
+        utilities=utilities,
+        config_gpus=[1, 2],
+        config_types=["t4", "t4"],
+        capacities={"t4": 2 * n_jobs},
+    )
+
+
+class TestResilientSolver:
+    def test_milp_failure_falls_back_to_greedy(self, monkeypatch):
+        def boom(problem, time_limit=None):
+            raise RuntimeError("injected MILP failure")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        solver = ResilientSolver()
+        solution, backend, degraded = solver.solve(problem())
+        assert backend == "greedy"
+        assert degraded
+        # The greedy result still respects capacities (validated here too).
+        used = solution.gpus_used(problem())
+        assert all(n <= problem().capacities[t] for t, n in used.items())
+
+    def test_breaker_opens_then_closes(self, monkeypatch):
+        attempts = {"n": 0}
+
+        def boom(problem, time_limit=None):
+            attempts["n"] += 1
+            raise RuntimeError("injected MILP failure")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        solver = ResilientSolver(ResilienceConfig(breaker_threshold=2,
+                                                  breaker_cooldown_rounds=3))
+        p = problem()
+        solver.solve(p)            # failure 1
+        solver.solve(p)            # failure 2 -> breaker trips
+        assert attempts["n"] == 2
+        assert solver.breaker_open
+        for _ in range(3):         # cooldown: MILP skipped entirely
+            _, backend, degraded = solver.solve(p)
+            assert backend == "greedy" and degraded
+        assert attempts["n"] == 2
+        assert not solver.breaker_open
+        solver.solve(p)            # breaker closed: MILP retried
+        assert attempts["n"] == 3
+        assert solver.stats["breaker_trips"] == 1
+
+    def test_budget_overrun_counts_toward_breaker(self, monkeypatch):
+        real = ilp._solve_milp
+
+        def slow(problem, time_limit=None):
+            time.sleep(0.03)
+            return real(problem, time_limit=time_limit)
+        monkeypatch.setattr(ilp, "_solve_milp", slow)
+        solver = ResilientSolver(ResilienceConfig(solve_budget_s=0.01,
+                                                  breaker_threshold=2,
+                                                  breaker_cooldown_rounds=2))
+        p = problem()
+        # Overruns still return the MILP answer, but flagged degraded ...
+        _, backend, degraded = solver.solve(p)
+        assert backend == "milp" and degraded
+        solver.solve(p)  # second overrun trips the breaker
+        assert solver.breaker_open
+        _, backend, degraded = solver.solve(p)
+        assert backend == "greedy" and degraded
+
+    def test_success_resets_failure_count(self, monkeypatch):
+        real = ilp._solve_milp
+        calls = {"n": 0}
+
+        def flaky(problem, time_limit=None):
+            calls["n"] += 1
+            if calls["n"] % 2 == 1:
+                raise RuntimeError("injected")
+            return real(problem, time_limit=time_limit)
+        monkeypatch.setattr(ilp, "_solve_milp", flaky)
+        solver = ResilientSolver(ResilienceConfig(breaker_threshold=2))
+        p = problem()
+        for _ in range(6):  # alternate fail/succeed: breaker never trips
+            solver.solve(p)
+        assert solver.stats["breaker_trips"] == 0
+
+    def test_exhausted_chain_raises(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_greedy", boom)
+        solver = ResilientSolver()
+        with pytest.raises(SolverExhaustedError):
+            solver.solve(problem())
+
+    def test_time_limit_reaches_scipy(self):
+        # A budgeted solve of a feasible instance still succeeds outright.
+        solution = ilp.solve_assignment(problem(), time_limit=10.0)
+        assert solution.assignment
+
+
+class TestCarryForward:
+    def _random_previous(self, cluster, rng, n_jobs):
+        """Valid allocations on the full cluster, random but packed."""
+        occupancy = {}
+        previous = {}
+        for i in range(n_jobs):
+            node = rng.choice(cluster.nodes)
+            free = node.num_gpus - occupancy.get(node.node_id, 0)
+            if free <= 0:
+                continue
+            take = rng.randint(1, free)
+            occupancy[node.node_id] = occupancy.get(node.node_id, 0) + take
+            previous[f"j{i}"] = Allocation.build(node.gpu_type,
+                                                 {node.node_id: take})
+        return previous
+
+    def test_never_oversubscribes_shrunken_cluster(self):
+        """Property-style: for many random (allocations, shrink) draws the
+        carried plan always validates on the surviving nodes."""
+        full = presets.heterogeneous()
+        for seed in range(30):
+            rng = random.Random(seed)
+            previous = self._random_previous(full, rng, n_jobs=10)
+            survivors = [n for n in full.nodes if rng.random() > 0.4]
+            if not survivors:
+                survivors = [full.nodes[0]]
+            shrunk = Cluster(nodes=tuple(survivors))
+            views = [SimpleNamespace(job_id=jid) for jid in previous]
+            plan = carry_forward_plan(previous, shrunk, views)
+            plan.validate(shrunk)  # must never raise
+            assert plan.backend == "carry" and plan.degraded
+            down = {n.node_id for n in full.nodes} - \
+                {n.node_id for n in shrunk.nodes}
+            for alloc in plan.allocations.values():
+                assert not (set(alloc.node_ids) & down)
+
+    def test_drops_departed_jobs(self, hetero_cluster):
+        previous = {"gone": Allocation.build("t4", {0: 2}),
+                    "kept": Allocation.build("t4", {1: 2})}
+        views = [SimpleNamespace(job_id="kept")]
+        plan = carry_forward_plan(previous, hetero_cluster, views)
+        assert set(plan.allocations) == {"kept"}
+
+    def test_gpu_type_mismatch_dropped(self):
+        cluster = Cluster.from_groups([NodeGroup("t4", 1, 4)])
+        previous = {"j0": Allocation.build("a100", {0: 2})}
+        views = [SimpleNamespace(job_id="j0")]
+        plan = carry_forward_plan(previous, cluster, views)
+        assert plan.allocations == {}
+        plan.validate(cluster)
+
+
+class _FlakyScheduler(Scheduler):
+    """Delegates to Sia, but blows up (or emits garbage) on schedule."""
+
+    name = "flaky"
+
+    def __init__(self, every=3, mode="raise"):
+        self.inner = SiaScheduler()
+        self.round_duration = self.inner.round_duration
+        self.calls = 0
+        self.every = every
+        self.mode = mode
+
+    def make_estimator(self, job, cluster, profiling_mode):
+        return self.inner.make_estimator(job, cluster, profiling_mode)
+
+    def decide(self, views, cluster, previous, now):
+        self.calls += 1
+        if self.calls % self.every == 0:
+            if self.mode == "raise":
+                raise RuntimeError("injected scheduler failure")
+            # Garbage plan: allocate a node that does not exist.
+            return RoundPlan(allocations={
+                views[0].job_id: Allocation.build("t4", {10**6: 1})})
+        return self.inner.decide(views, cluster, previous, now)
+
+
+class TestResilientScheduler:
+    def test_wraps_exceptions_into_carry(self, hetero_cluster):
+        jobs = [make_job(f"j{i}", "resnet18", 0.0, work_scale=0.4)
+                for i in range(3)]
+        sched = ResilientScheduler(_FlakyScheduler(every=3))
+        result = simulate(hetero_cluster, sched, jobs, max_hours=100)
+        assert all(j.completed for j in result.jobs)
+        assert sched.caught_failures > 0
+        assert result.degraded_rounds >= sched.caught_failures
+        assert result.backend_counts().get("carry", 0) > 0
+
+    def test_invalid_plans_are_caught(self, hetero_cluster):
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.3)]
+        sched = ResilientScheduler(_FlakyScheduler(every=2, mode="garbage"))
+        result = simulate(hetero_cluster, sched, jobs, max_hours=100)
+        assert result.jobs[0].completed
+        assert sched.caught_failures > 0
+
+    def test_simulator_guard_requires_opt_in(self, hetero_cluster):
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.3)]
+        with pytest.raises(RuntimeError, match="injected"):
+            simulate(hetero_cluster, _FlakyScheduler(every=2), jobs,
+                     max_hours=100)
+        result = simulate(hetero_cluster, _FlakyScheduler(every=2), jobs,
+                          max_hours=100, resilient=True)
+        assert result.jobs[0].completed
+        assert result.degraded_rounds > 0
+
+    def test_delegates_estimators_and_cadence(self, hetero_cluster):
+        inner = SiaScheduler()
+        sched = ResilientScheduler(inner)
+        assert sched.round_duration == inner.round_duration
+        assert sched.name == "resilient-sia"
+        assert "guarded" in sched.describe()
+
+
+class TestChaos:
+    def test_chaos_run_completes_with_degraded_telemetry(
+            self, hetero_cluster, monkeypatch):
+        """Acceptance: MILP failures + node crashes + stragglers in one run;
+        every job finishes and degraded-round telemetry is nonzero."""
+        real = ilp._solve_milp
+        calls = {"n": 0}
+
+        def flaky(problem, time_limit=None):
+            calls["n"] += 1
+            if calls["n"] % 3 == 0:
+                raise RuntimeError("injected MILP failure")
+            return real(problem, time_limit=time_limit)
+        monkeypatch.setattr(ilp, "_solve_milp", flaky)
+
+        params = SiaPolicyParams(
+            resilience=ResilienceConfig(solve_budget_s=5.0,
+                                        breaker_threshold=3,
+                                        breaker_cooldown_rounds=5))
+        scheduler = ResilientScheduler(SiaScheduler(params))
+        jobs = [make_job(f"j{i}", "resnet18", 0.0, work_scale=0.4)
+                for i in range(4)]
+        result = simulate(
+            hetero_cluster, scheduler, jobs, seed=1, max_hours=200,
+            resilient=True,
+            fault_models=[NodeCrashModel(rate=2.0, seed=41),
+                          StragglerModel(rate=20.0, slowdown=0.4, seed=42),
+                          JobCrashModel(rate=5.0, seed=43)])
+        assert all(j.completed for j in result.jobs)
+        assert result.degraded_rounds > 0
+        assert result.total_fault_events > 0
+        backends = result.backend_counts()
+        assert backends.get("greedy", 0) > 0  # the fallback chain engaged
+        loaded_summary = result.fault_counts()
+        assert loaded_summary  # structured fault telemetry survives
+
+    def test_chaos_telemetry_round_trips(self, hetero_cluster, tmp_path,
+                                         monkeypatch):
+        from repro import io
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.3)]
+        result = simulate(hetero_cluster, SiaScheduler(), jobs, seed=2,
+                          max_hours=100,
+                          fault_models=[JobCrashModel(rate=60.0, seed=5)])
+        assert result.total_fault_events > 0
+        path = tmp_path / "res.json"
+        io.save_result(result, path)
+        loaded = io.load_result(path)
+        assert loaded.fault_counts() == result.fault_counts()
+        assert loaded.degraded_rounds == result.degraded_rounds
+        assert loaded.backend_counts() == result.backend_counts()
