@@ -20,8 +20,9 @@ from repro.analysis import format_table
 from repro.cluster import presets
 from repro.core.types import AdaptivityMode, ProfilingMode
 from repro.jobs.job import make_job
+from repro.obs.tracer import Tracer
 from repro.schedulers import GavelScheduler, PolluxScheduler, SiaScheduler
-from repro.schedulers.base import JobView
+from repro.schedulers.base import PLAN_PHASES, JobView
 from repro.workloads import helios_trace
 
 SIZES = (64, 128, 256, 512, 1024)
@@ -90,3 +91,33 @@ def test_fig9_policy_scalability(benchmark):
     pollux_growth = results[SIZES[-1]]["pollux"] / results[SIZES[0]]["pollux"]
     sia_growth = results[SIZES[-1]]["sia"] / results[SIZES[0]]["sia"]
     assert pollux_growth > sia_growth * 0.5  # at minimum comparable growth
+
+
+def run_traced_breakdown():
+    """One traced Sia decision at the largest size: where does the plan
+    path spend its time?  (bootstrap / goodput_eval / solve / placement)"""
+    size = SIZES[-1]
+    cluster = presets.scaled_heterogeneous(size)
+    scheduler = SiaScheduler()
+    scheduler.tracer = tracer = Tracer()
+    views = make_views(scheduler, cluster, JOBS_PER_64 * (size // 64), False)
+    plan = scheduler.decide(views, cluster, {}, 0.0)
+    breakdown = {name: tracer.span_stats(name).total for name in PLAN_PHASES}
+    return plan.solve_time, breakdown
+
+
+def test_fig9_phase_breakdown(benchmark):
+    solve_time, breakdown = run_once_benchmarked(benchmark,
+                                                 run_traced_breakdown)
+    rows = [{"phase": name, "seconds": round(secs, 4),
+             "share": f"{secs / solve_time:.1%}" if solve_time else "-"}
+            for name, secs in breakdown.items()]
+    emit("fig9_phase_breakdown",
+         format_table(rows, title=f"Sia plan-phase breakdown at "
+                                  f"{SIZES[-1]} GPUs "
+                                  f"(total {solve_time:.4f}s)"))
+    # Every standard phase span was emitted, and the phases account for
+    # (nearly) all of the recorded plan time.
+    assert all(secs > 0.0 for secs in breakdown.values())
+    assert sum(breakdown.values()) <= solve_time
+    assert sum(breakdown.values()) > 0.8 * solve_time

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro import io
@@ -29,6 +30,8 @@ from repro.core.policy import SiaPolicyParams
 from repro.core.resilience import ResilienceConfig, ResilientScheduler
 from repro.core.types import ProfilingMode
 from repro.metrics.jct import summarize
+from repro.obs.export import run_digest, write_chrome_trace, write_events_jsonl
+from repro.obs.tracer import Tracer
 from repro.perf.profiles import MODEL_ZOO
 from repro.schedulers import (FIFOScheduler, GavelScheduler, PolluxScheduler,
                               ShockwaveScheduler, SiaScheduler,
@@ -104,19 +107,58 @@ def resolve_trace(args: argparse.Namespace) -> Trace:
                          work_scale_factor=args.work_scale, **kwargs)
 
 
-def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace):
+def _wants_tracing(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace_out", None)
+                or getattr(args, "events_out", None)
+                or getattr(args, "metrics_digest", False))
+
+
+def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
+              suffix: str = ""):
     cluster = presets.by_name(args.cluster)
     scheduler = build_scheduler(scheduler_name, args)
     jobs = trace.jobs
     if scheduler_name in RIGID_SCHEDULERS:
         jobs = tuned_jobs(jobs, cluster, seed=trace.seed)
+    tracer = Tracer() if _wants_tracing(args) else None
     config = SimulatorConfig(
         profiling_mode=ProfilingMode(args.profiling_mode),
         seed=args.seed, max_hours=args.max_hours,
         node_failure_rate=args.failure_rate,
         fault_models=build_fault_models(args),
-        resilient=getattr(args, "resilient", False))
-    return Simulator(cluster, scheduler, jobs, config).run()
+        resilient=getattr(args, "resilient", False),
+        tracer=tracer)
+    result = Simulator(cluster, scheduler, jobs, config).run()
+    _export_observability(result, tracer, args, suffix)
+    return result
+
+
+def _suffixed(path: str, suffix: str) -> Path:
+    """``trace.json`` + suffix ``sia`` -> ``trace-sia.json`` (compare mode
+    writes one file per scheduler)."""
+    p = Path(path)
+    if not suffix:
+        return p
+    return p.with_name(f"{p.stem}-{suffix}{p.suffix}")
+
+
+def _export_observability(result, tracer: Tracer | None,
+                          args: argparse.Namespace, suffix: str = "") -> None:
+    """Write the trace/event files and print the digest, as requested."""
+    if tracer is None:
+        return
+    events = list(tracer.events)
+    if getattr(args, "trace_out", None):
+        path = _suffixed(args.trace_out, suffix)
+        write_chrome_trace(tracer.spans, path, events)
+        print(f"wrote Chrome trace to {path} "
+              "(open at https://ui.perfetto.dev)")
+    if getattr(args, "events_out", None):
+        path = _suffixed(args.events_out, suffix)
+        write_events_jsonl(tracer.spans, path, events, result.final_metrics)
+        print(f"wrote event log to {path}")
+    if getattr(args, "metrics_digest", False):
+        print(run_digest(result))
 
 
 def _print_robustness_summary(result) -> None:
@@ -184,7 +226,6 @@ def cmd_report(args: argparse.Namespace) -> int:
     results = [io.load_result(path) for path in args.results]
     text = build_report(results, title=args.title)
     if args.out:
-        from pathlib import Path
         Path(args.out).write_text(text)
         print(f"wrote report to {args.out}")
     else:
@@ -198,7 +239,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     for name in names:
         print(f"simulating {name} ...", file=sys.stderr)
-        result = _simulate(name, args, trace)
+        result = _simulate(name, args, trace, suffix=name)
         rows.append(summarize(result).as_row())
     print(format_table(rows, title=f"Comparison on {trace.name} "
                                    f"({args.cluster})"))
@@ -251,6 +292,14 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--gavel-policy", default="max_sum_throughput",
                         choices=list(GavelScheduler.POLICIES))
     parser.add_argument("--out", help="write results/trace JSON here")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome/Perfetto trace_event JSON here "
+                             "(compare mode appends the scheduler name)")
+    parser.add_argument("--events-out", metavar="PATH",
+                        help="write a JSONL span/event log here")
+    parser.add_argument("--metrics-digest", action="store_true",
+                        help="print a per-run observability digest "
+                             "(phase breakdown, span stats, metrics)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 try:  # scipy is an install dependency, but keep the pure-Python path alive.
     from scipy.optimize import Bounds, LinearConstraint, milp
     _HAVE_SCIPY = True
@@ -91,27 +93,33 @@ class AssignmentSolution:
 
 
 def solve_assignment(problem: AssignmentProblem, backend: str = "milp",
-                     time_limit: float | None = None) -> AssignmentSolution:
+                     time_limit: float | None = None,
+                     tracer: Tracer | None = None) -> AssignmentSolution:
     """Solve one assignment instance with the chosen backend.
 
     ``time_limit`` (seconds) is forwarded to the MILP backend as a solver
     time budget; a timed-out solve returns the best incumbent found, or
-    raises if none exists.  Other backends ignore it.
+    raises if none exists.  Other backends ignore it.  ``tracer`` records
+    an ``ilp_solve`` span around the backend call.
     """
-    start = time.perf_counter()
-    if backend == "milp":
-        if _HAVE_SCIPY:
-            solution = _solve_milp(problem, time_limit=time_limit)
-        else:  # pragma: no cover
+    if tracer is None:
+        tracer = NULL_TRACER
+    with tracer.span("ilp_solve", backend=backend, jobs=problem.n_jobs,
+                     configs=problem.n_configs):
+        start = time.perf_counter()
+        if backend == "milp":
+            if _HAVE_SCIPY:
+                solution = _solve_milp(problem, time_limit=time_limit)
+            else:  # pragma: no cover
+                solution = _solve_exact(problem)
+        elif backend == "greedy":
+            solution = _solve_greedy(problem)
+        elif backend == "exact":
             solution = _solve_exact(problem)
-    elif backend == "greedy":
-        solution = _solve_greedy(problem)
-    elif backend == "exact":
-        solution = _solve_exact(problem)
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
-    solution.solve_time = time.perf_counter() - start
-    _validate(problem, solution)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        solution.solve_time = time.perf_counter() - start
+        _validate(problem, solution)
     return solution
 
 

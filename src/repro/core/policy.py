@@ -26,6 +26,7 @@ from repro.core import matrix as gm
 from repro.core.configs import build_config_set
 from repro.core.ilp import AssignmentProblem, AssignmentSolution, solve_assignment
 from repro.core.types import Configuration, PolicyDecision
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # avoid a circular import; JobView is only a type hint
     from repro.core.resilience import ResilienceConfig
@@ -53,6 +54,10 @@ class SiaPolicyParams:
 
 class SiaPolicy:
     """Computes one round's configuration assignments."""
+
+    #: observability tracer (the SiaScheduler forwards the run's tracer so
+    #: the policy's phase spans nest under the scheduler's plan span).
+    tracer: Tracer = NULL_TRACER
 
     def __init__(self, params: SiaPolicyParams | None = None):
         self.params = params or SiaPolicyParams()
@@ -128,56 +133,62 @@ class SiaPolicy:
                now: float) -> PolicyDecision:
         if not views:
             return PolicyDecision()
-        max_gpus = max(v.job.effective_max_gpus for v in views)
-        configs = self.configurations(cluster, max_gpus=max_gpus)
-        n_configs = len(configs)
+        tracer = self.tracer
+        with tracer.span("bootstrap", jobs=len(views)):
+            max_gpus = max(v.job.effective_max_gpus for v in views)
+            configs = self.configurations(cluster, max_gpus=max_gpus)
+            n_configs = len(configs)
 
-        goodputs: list[dict[int, float]] = []
-        for view in views:
-            row: dict[int, float] = {}
-            for j in self.feasible_configs(view, configs):
-                value = view.estimator.goodput(configs[j])
-                if value > 0:
-                    row[j] = value
-            goodputs.append(row)
+        with tracer.span("goodput_eval", jobs=len(views), configs=n_configs):
+            goodputs: list[dict[int, float]] = []
+            for view in views:
+                row: dict[int, float] = {}
+                for j in self.feasible_configs(view, configs):
+                    value = view.estimator.goodput(configs[j])
+                    if value > 0:
+                        row[j] = value
+                goodputs.append(row)
 
-        raw = gm.build_goodput_matrix(goodputs, n_configs)
-        min_gpus = [v.job.effective_min_gpus for v in views]
-        normalized = gm.normalize_rows(raw, min_gpus)
+            raw = gm.build_goodput_matrix(goodputs, n_configs)
+            min_gpus = [v.job.effective_min_gpus for v in views]
+            normalized = gm.normalize_rows(raw, min_gpus)
 
-        current_idx = [gm.config_index(configs, v.current_config)
-                       for v in views]
-        if self.params.use_restart_factor:
-            factors = [gm.restart_factor(v.age, v.num_restarts,
-                                         v.job.restart_delay)
-                       for v in views]
-        else:
-            factors = [1.0] * len(views)
-        discounted = gm.apply_restart_discount(normalized, current_idx, factors)
-        utilities = gm.shape_utilities(
-            discounted, p=self.params.p,
-            allocation_incentive=self.params.allocation_incentive)
+            current_idx = [gm.config_index(configs, v.current_config)
+                           for v in views]
+            if self.params.use_restart_factor:
+                factors = [gm.restart_factor(v.age, v.num_restarts,
+                                             v.job.restart_delay)
+                           for v in views]
+            else:
+                factors = [1.0] * len(views)
+            discounted = gm.apply_restart_discount(normalized, current_idx,
+                                                   factors)
+            utilities = gm.shape_utilities(
+                discounted, p=self.params.p,
+                allocation_incentive=self.params.allocation_incentive)
 
-        forced: dict[int, int] = {}
-        for i, view in enumerate(views):
-            if view.is_running and not view.job.preemptible \
-                    and current_idx[i] is not None:
-                forced[i] = current_idx[i]
+            forced: dict[int, int] = {}
+            for i, view in enumerate(views):
+                if view.is_running and not view.job.preemptible \
+                        and current_idx[i] is not None:
+                    forced[i] = current_idx[i]
 
-        problem = AssignmentProblem(
-            utilities=utilities,
-            config_gpus=[c.num_gpus for c in configs],
-            config_types=[c.gpu_type for c in configs],
-            capacities=cluster.capacities(),
-            forced=forced,
-        )
-        if self.resilient_solver is not None:
-            solution, backend, degraded = self.resilient_solver.solve(
-                problem, primary=self.params.solver)
-        else:
-            solution: AssignmentSolution = solve_assignment(
-                problem, backend=self.params.solver)
-            backend, degraded = self.params.solver, False
+        with tracer.span("solve", backend=self.params.solver):
+            problem = AssignmentProblem(
+                utilities=utilities,
+                config_gpus=[c.num_gpus for c in configs],
+                config_types=[c.gpu_type for c in configs],
+                capacities=cluster.capacities(),
+                forced=forced,
+            )
+            if self.resilient_solver is not None:
+                self.resilient_solver.tracer = tracer
+                solution, backend, degraded = self.resilient_solver.solve(
+                    problem, primary=self.params.solver)
+            else:
+                solution: AssignmentSolution = solve_assignment(
+                    problem, backend=self.params.solver, tracer=tracer)
+                backend, degraded = self.params.solver, False
 
         assignments = {
             views[i].job_id: configs[j]

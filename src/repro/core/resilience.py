@@ -30,6 +30,7 @@ from repro.cluster.cluster import Cluster
 from repro.core import ilp
 from repro.core.ilp import AssignmentProblem, AssignmentSolution
 from repro.core.types import Allocation
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.schedulers.base import JobView, RoundPlan, Scheduler
 
 
@@ -67,6 +68,10 @@ class ResilientSolver:
     :class:`SolverExhaustedError`, signalling the caller to carry forward.
     """
 
+    #: observability tracer; emits one ``solve_attempt`` span per backend
+    #: tried, annotated with its outcome (ok / timeout / error).
+    tracer: Tracer = NULL_TRACER
+
     def __init__(self, config: ResilienceConfig | None = None):
         self.config = config or ResilienceConfig()
         self._consecutive_failures = 0
@@ -94,30 +99,43 @@ class ResilientSolver:
         budget = self.config.solve_budget_s
         if self._breaker_open_rounds > 0:
             self._breaker_open_rounds -= 1
+            self.tracer.instant("breaker_skip", backend=primary,
+                                rounds_left=self._breaker_open_rounds)
         else:
-            try:
-                start = time.perf_counter()
-                solution = ilp.solve_assignment(problem, backend=primary,
-                                                time_limit=budget)
-                elapsed = time.perf_counter() - start
-                if elapsed > budget:
-                    # Budget overrun: keep the (possibly incumbent) answer
-                    # but count it toward the breaker and mark the round.
-                    self._record_failure()
+            with self.tracer.span("solve_attempt",
+                                  backend=primary) as attempt:
+                try:
+                    start = time.perf_counter()
+                    solution = ilp.solve_assignment(problem, backend=primary,
+                                                    time_limit=budget,
+                                                    tracer=self.tracer)
+                    elapsed = time.perf_counter() - start
+                    if elapsed > budget:
+                        # Budget overrun: keep the (possibly incumbent)
+                        # answer but count it toward the breaker and mark
+                        # the round.
+                        attempt.annotate(outcome="timeout")
+                        self._record_failure()
+                        self._count(primary)
+                        return solution, primary, True
+                    attempt.annotate(outcome="ok")
+                    self._consecutive_failures = 0
                     self._count(primary)
-                    return solution, primary, True
-                self._consecutive_failures = 0
-                self._count(primary)
-                return solution, primary, False
-            except Exception:
-                self._record_failure()
+                    return solution, primary, False
+                except Exception:
+                    attempt.annotate(outcome="error")
+                    self._record_failure()
         if primary != "greedy":
-            try:
-                solution = ilp.solve_assignment(problem, backend="greedy")
-                self._count("greedy")
-                return solution, "greedy", True
-            except Exception:
-                pass
+            with self.tracer.span("solve_attempt",
+                                  backend="greedy") as attempt:
+                try:
+                    solution = ilp.solve_assignment(problem, backend="greedy",
+                                                    tracer=self.tracer)
+                    attempt.annotate(outcome="ok")
+                    self._count("greedy")
+                    return solution, "greedy", True
+                except Exception:
+                    attempt.annotate(outcome="error")
         self._count("exhausted")
         raise SolverExhaustedError(
             f"all solver backends failed (primary={primary!r}); "
@@ -184,6 +202,7 @@ class ResilientScheduler(Scheduler):
 
     def decide(self, views: list[JobView], cluster: Cluster,
                previous: dict[str, Allocation], now: float) -> RoundPlan:
+        self.inner.tracer = self.tracer
         try:
             plan = self.inner.decide(views, cluster, previous, now)
             plan.validate(cluster)
@@ -191,7 +210,9 @@ class ResilientScheduler(Scheduler):
         except Exception as exc:
             self.caught_failures += 1
             self.last_error = exc
-            return carry_forward_plan(previous, cluster, views)
+            with self.tracer.span("carry_forward", scheduler=self.inner.name,
+                                  error=type(exc).__name__):
+                return carry_forward_plan(previous, cluster, views)
 
     def describe(self) -> str:
         return f"{self.name} (round={self.round_duration:.0f}s, guarded)"

@@ -131,6 +131,8 @@ def _round_to_dict(record: RoundRecord) -> dict[str, Any]:
             "kind": e.kind, "time": e.time,
             "target": e.target, "detail": e.detail,
         } for e in record.fault_events]
+    if record.metrics:
+        data["metrics"] = dict(record.metrics)
     return data
 
 
@@ -147,7 +149,12 @@ def save_result(result: SimulationResult, path: str | Path, *,
         "jobs": [_record_to_dict(record) for record in result.jobs],
         "rounds": [_round_to_dict(record) for record in result.rounds]
         if include_rounds else [],
+        # Summaries survive even when per-round records are dropped.
+        "fault_counts": result.fault_counts(),
+        "backend_counts": result.backend_counts(),
     }
+    if result.final_metrics:
+        payload["final_metrics"] = dict(result.final_metrics)
     Path(path).write_text(json.dumps(payload, indent=2))
 
 
@@ -160,6 +167,9 @@ def load_result(path: str | Path) -> SimulationResult:
         end_time=payload["end_time"],
         censored=payload.get("censored", 0),
         node_failures=payload.get("node_failures", 0),
+        final_metrics=dict(payload.get("final_metrics", {})),
+        saved_fault_counts=payload.get("fault_counts"),
+        saved_backend_counts=payload.get("backend_counts"),
     )
     for item in payload["jobs"]:
         result.jobs.append(JobRecord(
@@ -184,7 +194,8 @@ def load_result(path: str | Path) -> SimulationResult:
             fault_events=[FaultEvent(kind=e["kind"], time=e["time"],
                                      target=e["target"],
                                      detail=e.get("detail", ""))
-                          for e in item.get("fault_events", [])]))
+                          for e in item.get("fault_events", [])],
+            metrics=dict(item.get("metrics", {}))))
     return result
 
 

@@ -1,0 +1,28 @@
+"""repro.obs — dependency-free observability: spans, metrics, exporters.
+
+* :mod:`repro.obs.tracer`  — :class:`Tracer` (nestable spans, instant
+  events) and the near-zero-cost :data:`NULL_TRACER` default.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters, gauges,
+  and histograms, snapshotted per round by the simulator.
+* :mod:`repro.obs.export`  — Chrome/Perfetto ``trace_event`` JSON, JSONL
+  event logs, and human-readable digests.
+
+Attach a tracer to a simulation via ``SimulatorConfig(tracer=Tracer())``
+(the CLI's ``--trace-out``/``--events-out`` do this for you), then read
+``SimulationResult.spans`` / ``phase_time_breakdown()`` / ``span_stats()``
+or export with :func:`repro.obs.export.write_chrome_trace`.
+"""
+
+from repro.obs.export import (chrome_trace, read_events_jsonl, run_digest,
+                              span_digest, validate_chrome_trace,
+                              write_chrome_trace, write_events_jsonl)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (NULL_TRACER, NullTracer, SpanRecord, SpanStats,
+                              Tracer)
+
+__all__ = [
+    "Tracer", "NullTracer", "NULL_TRACER", "SpanRecord", "SpanStats",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "write_events_jsonl", "read_events_jsonl", "span_digest", "run_digest",
+]

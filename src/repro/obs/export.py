@@ -1,0 +1,180 @@
+"""Exporters for recorded spans and metrics.
+
+Three formats:
+
+* **Chrome/Perfetto trace** — the ``trace_event`` JSON format understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev (open the file directly).
+  Spans become complete ("X") events; instant events become "i" events.
+* **JSONL event log** — one JSON object per line (spans, instant events,
+  and a final metrics snapshot), for ad-hoc ``jq``/pandas analysis.
+  Round-trips through :func:`read_events_jsonl`.
+* **Digest** — a human-readable per-run summary (phase breakdown, span
+  stats, metrics) printed by the CLI's ``--metrics-digest``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.obs.tracer import SpanRecord
+
+#: trace_event phases we emit (complete spans, instants, metadata).
+_VALID_PHASES = {"X", "i", "M"}
+
+
+# -- Chrome / Perfetto trace_event JSON --------------------------------------
+
+def chrome_trace(spans: Sequence[SpanRecord],
+                 events: Iterable[tuple[str, float, dict[str, Any]]] = (),
+                 *, process_name: str = "repro") -> dict[str, Any]:
+    """Build a ``trace_event`` JSON payload (the "JSON object format":
+    a dict with a ``traceEvents`` list) from recorded spans."""
+    trace_events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for span in spans:
+        event: dict[str, Any] = {
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start * 1e6,        # trace_event wants microseconds
+            "dur": span.duration * 1e6,
+            "pid": 0,
+            "tid": 0,
+        }
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        event["args"] = args
+        trace_events.append(event)
+    for name, ts, attrs in events:
+        trace_events.append({
+            "name": name, "ph": "i", "ts": ts * 1e6,
+            "pid": 0, "tid": 0, "s": "t", "args": dict(attrs),
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[SpanRecord], path: str | Path,
+                       events: Iterable[tuple[str, float, dict[str, Any]]] = (),
+                       ) -> None:
+    payload = chrome_trace(spans, events)
+    validate_chrome_trace(payload)
+    Path(path).write_text(json.dumps(payload))
+
+
+def validate_chrome_trace(payload: Any) -> None:
+    """Raise ValueError unless ``payload`` is a well-formed trace_event
+    JSON object (the schema Perfetto/chrome://tracing loads)."""
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise ValueError("trace payload needs a 'traceEvents' list")
+    for i, event in enumerate(trace_events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"traceEvents[{i}] lacks a string 'name'")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            raise ValueError(f"traceEvents[{i}] has unsupported ph={phase!r}")
+        if phase == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
+            raise ValueError(f"traceEvents[{i}] lacks a non-negative 'ts'")
+        if phase == "X" and (not isinstance(event.get("dur"), (int, float))
+                             or event["dur"] < 0):
+            raise ValueError(f"traceEvents[{i}] ('X') lacks a valid 'dur'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"traceEvents[{i}] lacks integer {key!r}")
+
+
+# -- JSONL event log ----------------------------------------------------------
+
+def write_events_jsonl(spans: Sequence[SpanRecord], path: str | Path,
+                       events: Iterable[tuple[str, float, dict[str, Any]]] = (),
+                       metrics: dict[str, float] | None = None) -> None:
+    """One JSON object per line: spans in completion order, then instant
+    events, then a final ``metrics`` snapshot line (when given)."""
+    lines = []
+    for span in spans:
+        lines.append(json.dumps({
+            "kind": "span", "name": span.name, "start": span.start,
+            "duration": span.duration, "span_id": span.span_id,
+            "parent_id": span.parent_id, "depth": span.depth,
+            "attrs": span.attrs,
+        }))
+    for name, ts, attrs in events:
+        lines.append(json.dumps({
+            "kind": "event", "name": name, "time": ts, "attrs": dict(attrs),
+        }))
+    if metrics is not None:
+        lines.append(json.dumps({"kind": "metrics", "values": metrics}))
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def read_events_jsonl(path: str | Path,
+                      ) -> tuple[list[SpanRecord], dict[str, float]]:
+    """Round-trip reader: (spans, final metrics snapshot)."""
+    spans: list[SpanRecord] = []
+    metrics: dict[str, float] = {}
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        item = json.loads(line)
+        kind = item.get("kind")
+        if kind == "span":
+            spans.append(SpanRecord(
+                name=item["name"], start=item["start"],
+                duration=item["duration"], span_id=item["span_id"],
+                parent_id=item["parent_id"], depth=item["depth"],
+                attrs=item.get("attrs", {})))
+        elif kind == "metrics":
+            metrics = dict(item.get("values", {}))
+    return spans, metrics
+
+
+# -- human-readable digest -----------------------------------------------------
+
+def span_digest(spans: Sequence[SpanRecord]) -> str:
+    """Per-name span table: count, total, mean, max (seconds)."""
+    stats: dict[str, list[float]] = {}
+    for span in spans:
+        stats.setdefault(span.name, []).append(span.duration)
+    if not stats:
+        return "(no spans recorded)"
+    width = max(len(name) for name in stats)
+    lines = [f"{'span':<{width}}  {'count':>6}  {'total_s':>9}  "
+             f"{'mean_s':>9}  {'max_s':>9}"]
+    for name in sorted(stats, key=lambda n: -sum(stats[n])):
+        durs = stats[name]
+        lines.append(f"{name:<{width}}  {len(durs):>6}  {sum(durs):>9.4f}  "
+                     f"{sum(durs) / len(durs):>9.6f}  {max(durs):>9.6f}")
+    return "\n".join(lines)
+
+
+def run_digest(result: Any) -> str:
+    """Observability digest for one :class:`SimulationResult`-like object
+    (anything with ``spans``, ``final_metrics``, ``rounds``)."""
+    sections = [f"== observability digest: {result.scheduler_name} =="]
+    breakdown = result.phase_time_breakdown()
+    total_solve = sum(r.solve_time for r in result.rounds)
+    if any(v > 0 for v in breakdown.values()):
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in breakdown.items())
+        sections.append(f"phase breakdown: {parts} "
+                        f"(recorded solve_time total: {total_solve:.4f}s)")
+    if result.spans:
+        sections.append(span_digest(result.spans))
+    else:
+        sections.append("(tracing disabled; rerun with --trace-out or "
+                        "--events-out for spans)")
+    if result.final_metrics:
+        sections.append("metrics:")
+        sections.extend(f"  {k}: {v:g}"
+                        for k, v in sorted(result.final_metrics.items()))
+    return "\n".join(sections)

@@ -1,0 +1,150 @@
+"""Metrics registry: counters, gauges, and histograms for one run.
+
+Schedulers and the simulator update named metrics through a shared
+:class:`MetricsRegistry`; the simulator snapshots the registry into every
+:class:`~repro.sim.telemetry.RoundRecord` so per-round series (queue depth,
+per-GPU-type utilization, fault counts) survive into results and
+serialization.  Dependency-free, like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """Monotonically increasing count (rounds planned, faults injected...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (queue depth, utilization)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution summary; keeps every observation.
+
+    Runs are bounded (one observation per round at most), so exact storage
+    is cheap and percentiles stay honest.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, q in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        pos = (len(ordered) - 1) * q / 100.0
+        lo = math.floor(pos)
+        hi = math.ceil(pos)
+        if lo == hi:
+            return ordered[lo]
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} is a "
+                            f"{type(metric).__name__}, not a {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat name -> value view of every metric (histograms contribute
+        ``<name>.count`` / ``<name>.mean`` / ``<name>.max``)."""
+        out: dict[str, float] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[f"{name}.count"] = float(metric.count)
+                out[f"{name}.mean"] = metric.mean
+                out[f"{name}.max"] = metric.max
+            else:
+                out[name] = metric.value
+        return out
+
+    def digest(self) -> str:
+        """Human-readable one-metric-per-line summary."""
+        lines = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                lines.append(
+                    f"{name}: n={metric.count} mean={metric.mean:.4g} "
+                    f"p50={metric.percentile(50):.4g} "
+                    f"p99={metric.percentile(99):.4g} max={metric.max:.4g}")
+            else:
+                lines.append(f"{name}: {metric.value:g}")
+        return "\n".join(lines)

@@ -11,11 +11,17 @@ simulator only validates and applies the plan.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
 from repro.core.types import Allocation, Configuration
 from repro.jobs.job import Job
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+#: the standard phase spans every scheduler emits inside its ``plan`` span
+#: (Figure 9's solve-time scalar, split into where the time actually goes).
+PLAN_PHASES = ("bootstrap", "goodput_eval", "solve", "placement")
 
 
 @dataclass
@@ -86,11 +92,52 @@ class RoundPlan:
                     f"node {node_id} over-subscribed: {count} > {sizes[node_id]}")
 
 
+class PlanTimer:
+    """Times one ``decide()`` call under a ``plan`` tracing span.
+
+    Replaces the per-scheduler ``start = time.perf_counter() ...
+    plan.solve_time = time.perf_counter() - start`` blocks: enter it around
+    the planning body, open the standard :data:`PLAN_PHASES` child spans
+    with :meth:`phase`, and return the produced plan through :meth:`finish`,
+    which stamps ``RoundPlan.solve_time`` (backward compatible with the old
+    inline timing).  With the default :data:`~repro.obs.tracer.NULL_TRACER`
+    the spans are no-ops and only the solve-time stamp remains.
+    """
+
+    __slots__ = ("_tracer", "_span", "_start")
+
+    def __init__(self, tracer: Tracer, scheduler_name: str, n_jobs: int):
+        self._tracer = tracer
+        self._span = tracer.span("plan", scheduler=scheduler_name,
+                                 jobs=n_jobs)
+        self._start = 0.0
+
+    def __enter__(self) -> "PlanTimer":
+        self._start = time.perf_counter()
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return self._span.__exit__(*exc)
+
+    def phase(self, name: str, **attrs):
+        """Open one of the standard phase spans (a child of ``plan``)."""
+        return self._tracer.span(name, **attrs)
+
+    def finish(self, plan: "RoundPlan") -> "RoundPlan":
+        """Stamp ``plan.solve_time`` with the wall-clock spent planning."""
+        plan.solve_time = time.perf_counter() - self._start
+        return plan
+
+
 class Scheduler(abc.ABC):
     """Base class for round-based cluster schedulers."""
 
     #: human-readable scheduler name for results tables.
     name: str = "base"
+    #: observability tracer; the simulator injects the run's tracer here.
+    #: The NULL_TRACER default keeps standalone ``decide()`` calls no-op.
+    tracer: Tracer = NULL_TRACER
     #: seconds between scheduling rounds (60 for Sia/Pollux, 360 for the
     #: rigid baselines — Section 4.3).
     round_duration: float = 60.0
@@ -103,6 +150,10 @@ class Scheduler(abc.ABC):
     def decide(self, views: list[JobView], cluster: Cluster,
                previous: dict[str, Allocation], now: float) -> RoundPlan:
         """Choose allocations for the next round."""
+
+    def planning(self, views: list[JobView]) -> PlanTimer:
+        """The span-backed clock every ``decide()`` wraps its body in."""
+        return PlanTimer(self.tracer, self.name, len(views))
 
     def make_estimator(self, job: Job, cluster: Cluster,
                        profiling_mode) -> object:

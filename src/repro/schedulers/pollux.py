@@ -24,7 +24,6 @@ Faithful-to-behaviour reimplementation of the aspects the paper evaluates:
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -227,8 +226,8 @@ class PolluxScheduler(Scheduler):
         return genome
 
     def _evolve(self, views: list[JobView], capacity: int,
-                max_count: int, num_virtual_nodes: int) -> np.ndarray:
-        tables = [self._speedup_table(v, max_count) for v in views]
+                max_count: int, num_virtual_nodes: int,
+                tables: list[np.ndarray]) -> np.ndarray:
         mins = np.array([v.job.effective_min_gpus for v in views])
         maxs = np.array([min(max_count, v.job.effective_max_gpus)
                          for v in views])
@@ -274,31 +273,38 @@ class PolluxScheduler(Scheduler):
                previous: dict[str, Allocation], now: float) -> RoundPlan:
         if not views:
             return RoundPlan()
-        start = time.perf_counter()
-        capacity = cluster.total_gpus
-        max_count = min(capacity, max(v.job.effective_max_gpus for v in views))
-        num_virtual_nodes = max(1, capacity // VIRTUAL_NODE_SIZE)
-        best = self._evolve(views, capacity, max_count, num_virtual_nodes)
+        with self.planning(views) as timer:
+            with timer.phase("bootstrap"):
+                capacity = cluster.total_gpus
+                max_count = min(capacity,
+                                max(v.job.effective_max_gpus for v in views))
+                num_virtual_nodes = max(1, capacity // VIRTUAL_NODE_SIZE)
+            with timer.phase("goodput_eval"):
+                tables = [self._speedup_table(v, max_count) for v in views]
+            with timer.phase("solve", generations=self.ga.
+                             effective_generations(num_virtual_nodes)):
+                best = self._evolve(views, capacity, max_count,
+                                    num_virtual_nodes, tables)
 
-        # Greedy placement onto virtual nodes, largest jobs first; Pollux may
-        # span types — the fix-up below trims allocations to one type.
-        plan = RoundPlan()
-        occupancy: dict[int, int] = {}
-        order = sorted(range(len(views)), key=lambda i: -best[i])
-        for i in order:
-            count = int(best[i])
-            if count < 1:
-                continue
-            view = views[i]
-            allocation = self._place_mixed(cluster, count, occupancy,
-                                           previous.get(view.job_id))
-            if allocation is None:
-                continue
-            allocation = self._fix_mixed_types(allocation, view)
-            if allocation is not None:
-                plan.allocations[view.job_id] = allocation
-        plan.solve_time = time.perf_counter() - start
-        return plan
+            # Greedy placement onto virtual nodes, largest jobs first;
+            # Pollux may span types — the fix-up trims to one type.
+            with timer.phase("placement"):
+                plan = RoundPlan()
+                occupancy: dict[int, int] = {}
+                order = sorted(range(len(views)), key=lambda i: -best[i])
+                for i in order:
+                    count = int(best[i])
+                    if count < 1:
+                        continue
+                    view = views[i]
+                    allocation = self._place_mixed(cluster, count, occupancy,
+                                                   previous.get(view.job_id))
+                    if allocation is None:
+                        continue
+                    allocation = self._fix_mixed_types(allocation, view)
+                    if allocation is not None:
+                        plan.allocations[view.job_id] = allocation
+            return timer.finish(plan)
 
     def _place_mixed(self, cluster: Cluster, count: int,
                      occupancy: dict[int, int],

@@ -19,7 +19,6 @@ Rounds are 360 s (Section 4.3).
 from __future__ import annotations
 
 import math
-import time
 
 from repro.cluster.cluster import Cluster
 from repro.core.types import Allocation, Configuration
@@ -83,22 +82,25 @@ class ShockwaveScheduler(Scheduler):
                previous: dict[str, Allocation], now: float) -> RoundPlan:
         if not views:
             return RoundPlan()
-        start = time.perf_counter()
-        contention = len(views)
-        ranked = sorted(
-            views,
-            key=lambda v: self._priority(v, cluster, now, contention),
-            reverse=True)
-
-        plan = RoundPlan()
-        occupancy: dict[int, int] = {}
-        for view in ranked:
-            allocation = place_rigid(view, cluster, occupancy,
-                                     previous.get(view.job_id))
-            if allocation is not None:
-                plan.allocations[view.job_id] = allocation
-        plan.solve_time = time.perf_counter() - start
-        return plan
+        with self.planning(views) as timer:
+            with timer.phase("bootstrap"):
+                contention = len(views)
+            with timer.phase("goodput_eval"):
+                priorities = [self._priority(v, cluster, now, contention)
+                              for v in views]
+            with timer.phase("solve"):
+                ranked = [views[i] for i in
+                          sorted(range(len(views)),
+                                 key=lambda i: priorities[i], reverse=True)]
+            with timer.phase("placement"):
+                plan = RoundPlan()
+                occupancy: dict[int, int] = {}
+                for view in ranked:
+                    allocation = place_rigid(view, cluster, occupancy,
+                                             previous.get(view.job_id))
+                    if allocation is not None:
+                        plan.allocations[view.job_id] = allocation
+            return timer.finish(plan)
 
 
 def place_rigid(view: JobView, cluster: Cluster, occupancy: dict[int, int],

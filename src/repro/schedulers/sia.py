@@ -29,15 +29,21 @@ class SiaScheduler(Scheduler):
 
     def decide(self, views: list[JobView], cluster: Cluster,
                previous: dict[str, Allocation], now: float) -> RoundPlan:
-        if self._placer is None or self._placer.cluster is not cluster:
-            self._placer = Placer(cluster)
-        decision = self.policy.decide(views, cluster, now)
-        pinned = {v.job_id for v in views
-                  if not v.job.preemptible and v.is_running}
-        placement = self._placer.place(decision.assignments, previous,
-                                       pinned=pinned)
-        return RoundPlan(allocations=placement.allocations,
-                         solve_time=decision.solve_time,
-                         objective=decision.objective,
-                         backend=decision.backend,
-                         degraded=decision.degraded)
+        # The policy emits the bootstrap/goodput_eval/solve phase spans; the
+        # Placer runs under the placement span, all children of our plan
+        # span.  solve_time covers the whole plan path (phases sum to it).
+        self.policy.tracer = self.tracer
+        with self.planning(views) as timer:
+            if self._placer is None or self._placer.cluster is not cluster:
+                self._placer = Placer(cluster)
+            decision = self.policy.decide(views, cluster, now)
+            pinned = {v.job_id for v in views
+                      if not v.job.preemptible and v.is_running}
+            with timer.phase("placement"):
+                placement = self._placer.place(decision.assignments, previous,
+                                               pinned=pinned)
+            plan = RoundPlan(allocations=placement.allocations,
+                             objective=decision.objective,
+                             backend=decision.backend,
+                             degraded=decision.degraded)
+            return timer.finish(plan)

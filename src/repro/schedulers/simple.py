@@ -7,8 +7,6 @@ contention — and as ablation baselines.
 
 from __future__ import annotations
 
-import time
-
 from repro.cluster.cluster import Cluster
 from repro.core.types import Allocation, Configuration
 from repro.schedulers.base import JobView, RoundPlan, Scheduler
@@ -26,25 +24,31 @@ class FIFOScheduler(Scheduler):
 
     def decide(self, views: list[JobView], cluster: Cluster,
                previous: dict[str, Allocation], now: float) -> RoundPlan:
-        start = time.perf_counter()
-        plan = RoundPlan()
-        occupancy: dict[int, int] = {}
-        # Running jobs keep their exact allocation.
-        for view in views:
-            prev = previous.get(view.job_id)
-            if prev is not None:
-                for node_id, count in prev.gpus_per_node:
-                    occupancy[node_id] = occupancy.get(node_id, 0) + count
-                plan.allocations[view.job_id] = prev
-        # Queued jobs start in submission order.
-        queued = sorted((v for v in views if v.job_id not in plan.allocations),
-                        key=lambda v: v.job.submit_time)
-        for view in queued:
-            allocation = place_rigid(view, cluster, occupancy, None)
-            if allocation is not None:
-                plan.allocations[view.job_id] = allocation
-        plan.solve_time = time.perf_counter() - start
-        return plan
+        with self.planning(views) as timer:
+            plan = RoundPlan()
+            occupancy: dict[int, int] = {}
+            with timer.phase("bootstrap"):
+                # Running jobs keep their exact allocation.
+                for view in views:
+                    prev = previous.get(view.job_id)
+                    if prev is not None:
+                        for node_id, count in prev.gpus_per_node:
+                            occupancy[node_id] = \
+                                occupancy.get(node_id, 0) + count
+                        plan.allocations[view.job_id] = prev
+            with timer.phase("goodput_eval"):
+                pass  # FIFO ignores rates; placement probes them lazily.
+            with timer.phase("solve"):
+                # Queued jobs start in submission order.
+                queued = sorted(
+                    (v for v in views if v.job_id not in plan.allocations),
+                    key=lambda v: v.job.submit_time)
+            with timer.phase("placement"):
+                for view in queued:
+                    allocation = place_rigid(view, cluster, occupancy, None)
+                    if allocation is not None:
+                        plan.allocations[view.job_id] = allocation
+            return timer.finish(plan)
 
 
 class SRTFScheduler(Scheduler):
@@ -71,14 +75,20 @@ class SRTFScheduler(Scheduler):
 
     def decide(self, views: list[JobView], cluster: Cluster,
                previous: dict[str, Allocation], now: float) -> RoundPlan:
-        start = time.perf_counter()
-        ranked = sorted(views, key=lambda v: self._remaining_time(v, cluster))
-        plan = RoundPlan()
-        occupancy: dict[int, int] = {}
-        for view in ranked:
-            allocation = place_rigid(view, cluster, occupancy,
-                                     previous.get(view.job_id))
-            if allocation is not None:
-                plan.allocations[view.job_id] = allocation
-        plan.solve_time = time.perf_counter() - start
-        return plan
+        with self.planning(views) as timer:
+            with timer.phase("bootstrap"):
+                plan = RoundPlan()
+                occupancy: dict[int, int] = {}
+            with timer.phase("goodput_eval"):
+                remaining = [self._remaining_time(v, cluster) for v in views]
+            with timer.phase("solve"):
+                ranked = [views[i] for i in
+                          sorted(range(len(views)),
+                                 key=lambda i: remaining[i])]
+            with timer.phase("placement"):
+                for view in ranked:
+                    allocation = place_rigid(view, cluster, occupancy,
+                                             previous.get(view.job_id))
+                    if allocation is not None:
+                        plan.allocations[view.job_id] = allocation
+            return timer.finish(plan)

@@ -12,7 +12,6 @@ Themis trails Shockwave on average JCT and makespan in Table 4.
 from __future__ import annotations
 
 import math
-import time
 
 from repro.cluster.cluster import Cluster
 from repro.core.types import Allocation
@@ -33,20 +32,24 @@ class ThemisScheduler(Scheduler):
                previous: dict[str, Allocation], now: float) -> RoundPlan:
         if not views:
             return RoundPlan()
-        start = time.perf_counter()
-        contention = len(views)
-        ranked = sorted(
-            views,
-            key=lambda v: -self._finite_rho(v, cluster, now, contention))
-        plan = RoundPlan()
-        occupancy: dict[int, int] = {}
-        for view in ranked:
-            allocation = place_rigid(view, cluster, occupancy,
-                                     previous.get(view.job_id))
-            if allocation is not None:
-                plan.allocations[view.job_id] = allocation
-        plan.solve_time = time.perf_counter() - start
-        return plan
+        with self.planning(views) as timer:
+            with timer.phase("bootstrap"):
+                contention = len(views)
+            with timer.phase("goodput_eval"):
+                rhos = [self._finite_rho(v, cluster, now, contention)
+                        for v in views]
+            with timer.phase("solve"):
+                ranked = [views[i] for i in
+                          sorted(range(len(views)), key=lambda i: -rhos[i])]
+            with timer.phase("placement"):
+                plan = RoundPlan()
+                occupancy: dict[int, int] = {}
+                for view in ranked:
+                    allocation = place_rigid(view, cluster, occupancy,
+                                             previous.get(view.job_id))
+                    if allocation is not None:
+                        plan.allocations[view.job_id] = allocation
+            return timer.finish(plan)
 
     @staticmethod
     def _finite_rho(view: JobView, cluster: Cluster, now: float,

@@ -35,8 +35,10 @@ from repro.cluster.cluster import Cluster
 from repro.core.resilience import carry_forward_plan
 from repro.core.types import Allocation, ProfilingMode
 from repro.jobs.job import Job
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.goodput import BatchPlan
-from repro.schedulers.base import JobView, Scheduler
+from repro.schedulers.base import JobView, RoundPlan, Scheduler
 from repro.sim.executor import ExecutionModel
 from repro.sim.faults import FaultContext, FaultModel, NodeCrashModel
 from repro.sim.telemetry import JobRecord, RoundRecord, SimulationResult
@@ -69,6 +71,13 @@ class SimulatorConfig:
     #: catch scheduler exceptions / invalid plans and carry forward the
     #: previous round instead of aborting the run.
     resilient: bool = False
+    #: observability tracer carried on the simulation context: injected into
+    #: the scheduler and executor, records round/plan/phase spans.  None
+    #: keeps the near-zero-cost no-op tracer.
+    tracer: Tracer | None = None
+    #: metrics registry snapshotted into every RoundRecord; a fresh one is
+    #: created when None (pass your own to aggregate across runs).
+    metrics: MetricsRegistry | None = None
 
 
 @dataclass
@@ -112,6 +121,12 @@ class Simulator:
         self._execution = ExecutionModel(seed=self.config.seed,
                                          rate_noise=self.config.rate_noise,
                                          obs_noise=self.config.obs_noise)
+        #: observability: one tracer carried through scheduler + executor,
+        #: one metrics registry snapshotted per round.
+        self.tracer = self.config.tracer or NULL_TRACER
+        self.metrics = self.config.metrics or MetricsRegistry()
+        self.scheduler.tracer = self.tracer
+        self._execution.tracer = self.tracer
         # Fault subsystem: legacy node_failure_rate becomes a NodeCrashModel
         # seeded exactly as the old inline sampler (seed + 1) so existing
         # configs reproduce bit-identical runs.
@@ -146,14 +161,18 @@ class Simulator:
 
         while (arrival_idx < len(self._arrivals) or active) and now < cap:
             # 1. admissions
-            while (arrival_idx < len(self._arrivals)
-                   and self._arrivals[arrival_idx].submit_time <= now):
-                job = self._arrivals[arrival_idx]
-                arrival_idx += 1
-                estimator = self.scheduler.make_estimator(
-                    job, self.cluster, self.config.profiling_mode)
-                estimator.profile_initial()
-                active[job.job_id] = _JobRuntime(job=job, estimator=estimator)
+            if (arrival_idx < len(self._arrivals)
+                    and self._arrivals[arrival_idx].submit_time <= now):
+                with self.tracer.span("admit"):
+                    while (arrival_idx < len(self._arrivals)
+                           and self._arrivals[arrival_idx].submit_time <= now):
+                        job = self._arrivals[arrival_idx]
+                        arrival_idx += 1
+                        estimator = self.scheduler.make_estimator(
+                            job, self.cluster, self.config.profiling_mode)
+                        estimator.profile_initial()
+                        active[job.job_id] = _JobRuntime(job=job,
+                                                         estimator=estimator)
 
             if not active:
                 # idle until the next arrival, quantized to rounds
@@ -162,28 +181,56 @@ class Simulator:
                 now += rounds_ahead * dt
                 continue
 
-            # 2. fault injection (Section 3.5): down nodes evict their jobs
-            # to the last epoch checkpoint; crashed jobs roll back in place;
-            # failed restores pay the restart delay again; stragglers slow
-            # the ground-truth rates.
-            cluster_view, fault_events = self._inject_faults(active, now, dt)
+            with self.tracer.span("round", index=len(result.rounds),
+                                  time=now, active_jobs=len(active)):
+                record = self._run_round(active, finished, now, dt)
+            result.rounds.append(record)
+            now += dt
 
-            # 3. scheduling decision over the surviving nodes
-            previous = {jid: rt.allocation for jid, rt in active.items()
-                        if rt.allocation is not None}
-            views = [self._view(rt, now) for rt in active.values()]
-            try:
-                plan = self.scheduler.decide(views, cluster_view, previous, now)
-                plan.validate(cluster_view)
-            except Exception:
-                if not self.config.resilient:
-                    raise
-                # One bad round must not kill the run: keep the previous
-                # round's still-feasible allocations.
-                self.caught_scheduler_failures += 1
+        # 6. finalize records (censored jobs included)
+        result.end_time = now
+        result.node_failures = self.total_failures
+        for rt in finished + list(active.values()):
+            result.jobs.append(self._record(rt))
+        result.censored = len(active)
+        result.jobs.sort(key=lambda r: (r.submit_time, r.job_id))
+        result.spans = list(self.tracer.spans)
+        result.final_metrics = self.metrics.snapshot()
+        return result
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _run_round(self, active: dict[str, _JobRuntime],
+                   finished: list[_JobRuntime], now: float,
+                   dt: float) -> RoundRecord:
+        """Steps 2-5 of the main loop: faults, plan, apply, advance."""
+        # 2. fault injection (Section 3.5): down nodes evict their jobs
+        # to the last epoch checkpoint; crashed jobs roll back in place;
+        # failed restores pay the restart delay again; stragglers slow
+        # the ground-truth rates.
+        cluster_view, fault_events = self._inject_faults(active, now, dt)
+
+        # 3. scheduling decision over the surviving nodes (the scheduler
+        # emits the plan span with its phase children)
+        previous = {jid: rt.allocation for jid, rt in active.items()
+                    if rt.allocation is not None}
+        views = [self._view(rt, now) for rt in active.values()]
+        try:
+            plan = self.scheduler.decide(views, cluster_view, previous, now)
+            plan.validate(cluster_view)
+        except Exception as exc:
+            if not self.config.resilient:
+                raise
+            # One bad round must not kill the run: keep the previous
+            # round's still-feasible allocations.
+            self.caught_scheduler_failures += 1
+            self.metrics.counter("caught_scheduler_failures").inc()
+            with self.tracer.span("carry_forward",
+                                  error=type(exc).__name__):
                 plan = carry_forward_plan(previous, cluster_view, views)
 
-            # 4. apply allocation changes
+        # 4. apply allocation changes
+        with self.tracer.span("apply"):
             for job_id, rt in active.items():
                 new = plan.allocations.get(job_id)
                 if new == rt.allocation:
@@ -216,12 +263,13 @@ class Simulator:
                             rt.num_restarts += 1
                             fault_events.append(event)
 
-            # 5. advance one round
-            contention = len(active)
-            record = RoundRecord(time=now, active_jobs=contention,
-                                 running_jobs=0, solve_time=plan.solve_time,
-                                 backend=plan.backend, degraded=plan.degraded,
-                                 fault_events=fault_events)
+        # 5. advance one round
+        contention = len(active)
+        record = RoundRecord(time=now, active_jobs=contention,
+                             running_jobs=0, solve_time=plan.solve_time,
+                             backend=plan.backend, degraded=plan.degraded,
+                             fault_events=fault_events)
+        with self.tracer.span("advance"):
             done_ids: list[str] = []
             for job_id, rt in active.items():
                 rt.contention_sum += contention
@@ -230,26 +278,34 @@ class Simulator:
                     continue
                 record.running_jobs += 1
                 config = rt.allocation.configuration()
-                record.allocations[job_id] = (config.gpu_type, config.num_gpus)
+                record.allocations[job_id] = (config.gpu_type,
+                                              config.num_gpus)
                 record.gpus_used[config.gpu_type] = \
                     record.gpus_used.get(config.gpu_type, 0) + config.num_gpus
                 if self._advance(rt, now, dt):
                     done_ids.append(job_id)
             for job_id in done_ids:
                 finished.append(active.pop(job_id))
-            result.rounds.append(record)
-            now += dt
 
-        # 6. finalize records (censored jobs included)
-        result.end_time = now
-        result.node_failures = self.total_failures
-        for rt in finished + list(active.values()):
-            result.jobs.append(self._record(rt))
-        result.censored = len(active)
-        result.jobs.sort(key=lambda r: (r.submit_time, r.job_id))
-        return result
+        self._update_metrics(record, plan)
+        record.metrics = self.metrics.snapshot()
+        return record
 
-    # -- helpers ---------------------------------------------------------------
+    def _update_metrics(self, record: RoundRecord, plan: RoundPlan) -> None:
+        """Fold one finished round into the run's metrics registry."""
+        m = self.metrics
+        m.counter("rounds_planned").inc()
+        if record.fault_events:
+            m.counter("faults_injected").inc(len(record.fault_events))
+        if plan.degraded:
+            m.counter("solver_fallbacks").inc()
+        if plan.backend == "carry":
+            m.counter("carry_forward_rounds").inc()
+        m.gauge("queue_depth").set(record.active_jobs - record.running_jobs)
+        m.histogram("solve_time_s").observe(record.solve_time)
+        for gpu_type, cap in self.cluster.capacities().items():
+            used = record.gpus_used.get(gpu_type, 0)
+            m.gauge(f"util.{gpu_type}").set(used / cap if cap else 0.0)
 
     def _rollback(self, rt: _JobRuntime) -> None:
         """Roll a job back to its last epoch checkpoint (Section 3.5)."""
@@ -263,63 +319,66 @@ class Simulator:
         self._round_speed = {}
         if not self._fault_models:
             return self.cluster, []
-        ctx = FaultContext(
-            now=now, dt=dt, cluster=self.cluster,
-            running={jid: rt.allocation for jid, rt in active.items()
-                     if rt.allocation is not None},
-            restoring=frozenset(jid for jid, rt in active.items()
-                                if rt.allocation is not None
-                                and rt.restart_remaining > 0))
-        for model in self._fault_models:
-            model.sample(ctx)
-        self.total_failures += sum(1 for e in ctx.events
-                                   if e.kind == NodeCrashModel.kind)
-
-        down = set(ctx.down_until)
-        if down:
-            # Evict jobs touching a down node; roll back to the checkpoint.
-            for rt in active.values():
-                if rt.allocation is None:
-                    continue
-                if any(nid in down for nid in rt.allocation.node_ids):
-                    self._rollback(rt)
-                    rt.allocation = None
-                    rt.restart_remaining = 0.0
-                    rt.num_restarts += 1
-
-        # Transient job crashes: roll back in place and pay a fresh restore.
-        for job_id in sorted(ctx.crashed_jobs):
-            rt = active.get(job_id)
-            if rt is None or rt.allocation is None:
-                continue  # already evicted (or finished) this round
-            self._rollback(rt)
-            rt.restart_remaining = rt.job.restart_delay
-            rt.num_restarts += 1
-
-        # Straggler slowdowns, felt through the ground-truth rates: a job
-        # runs at the pace of its slowest surviving node.
-        if ctx.node_speed:
-            for job_id, rt in active.items():
-                if rt.allocation is None:
-                    continue
-                factor = ctx.job_speed(rt.allocation)
-                if factor < 1.0:
-                    self._round_speed[job_id] = factor
-
-        if not down:
-            return self.cluster, ctx.events
-        up_nodes = tuple(n for n in self.cluster.nodes
-                         if n.node_id not in down)
-        if not up_nodes:
-            # Degenerate case: every node failed at once.  Repair the node
-            # closest to recovery immediately so the cluster view is never
-            # empty (schedulers cannot operate on zero nodes).
-            first_back = min(ctx.down_until, key=ctx.down_until.get)
+        with self.tracer.span("faults", models=len(self._fault_models)):
+            ctx = FaultContext(
+                now=now, dt=dt, cluster=self.cluster,
+                running={jid: rt.allocation for jid, rt in active.items()
+                         if rt.allocation is not None},
+                restoring=frozenset(jid for jid, rt in active.items()
+                                    if rt.allocation is not None
+                                    and rt.restart_remaining > 0))
             for model in self._fault_models:
-                model.revive(first_back)
+                model.sample(ctx)
+            self.total_failures += sum(1 for e in ctx.events
+                                       if e.kind == NodeCrashModel.kind)
+
+            down = set(ctx.down_until)
+            if down:
+                # Evict jobs touching a down node; roll back to the
+                # checkpoint.
+                for rt in active.values():
+                    if rt.allocation is None:
+                        continue
+                    if any(nid in down for nid in rt.allocation.node_ids):
+                        self._rollback(rt)
+                        rt.allocation = None
+                        rt.restart_remaining = 0.0
+                        rt.num_restarts += 1
+
+            # Transient job crashes: roll back in place and pay a fresh
+            # restore.
+            for job_id in sorted(ctx.crashed_jobs):
+                rt = active.get(job_id)
+                if rt is None or rt.allocation is None:
+                    continue  # already evicted (or finished) this round
+                self._rollback(rt)
+                rt.restart_remaining = rt.job.restart_delay
+                rt.num_restarts += 1
+
+            # Straggler slowdowns, felt through the ground-truth rates: a
+            # job runs at the pace of its slowest surviving node.
+            if ctx.node_speed:
+                for job_id, rt in active.items():
+                    if rt.allocation is None:
+                        continue
+                    factor = ctx.job_speed(rt.allocation)
+                    if factor < 1.0:
+                        self._round_speed[job_id] = factor
+
+            if not down:
+                return self.cluster, ctx.events
             up_nodes = tuple(n for n in self.cluster.nodes
-                             if n.node_id == first_back)
-        return Cluster(nodes=up_nodes), ctx.events
+                             if n.node_id not in down)
+            if not up_nodes:
+                # Degenerate case: every node failed at once.  Repair the
+                # node closest to recovery immediately so the cluster view
+                # is never empty (schedulers cannot operate on zero nodes).
+                first_back = min(ctx.down_until, key=ctx.down_until.get)
+                for model in self._fault_models:
+                    model.revive(first_back)
+                up_nodes = tuple(n for n in self.cluster.nodes
+                                 if n.node_id == first_back)
+            return Cluster(nodes=up_nodes), ctx.events
 
     def _view(self, rt: _JobRuntime, now: float) -> JobView:
         age = (now - rt.first_start) if rt.first_start is not None else 0.0

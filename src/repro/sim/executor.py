@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.types import Allocation
 from repro.jobs.hybrid import HybridPerfModel
 from repro.jobs.job import Job
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf import profiles
 from repro.perf.fitting import Observation
 from repro.perf.goodput import BatchPlan
@@ -45,6 +46,10 @@ class RoundExecution:
 
 class ExecutionModel:
     """Computes ground-truth execution rates, with optional noise."""
+
+    #: observability tracer carried on the simulation context (injected by
+    #: the Simulator); each ``execute`` call records an ``execute`` span.
+    tracer: Tracer = NULL_TRACER
 
     def __init__(self, seed: int = 0, rate_noise: float = 0.0,
                  obs_noise: float = 0.0):
@@ -80,37 +85,41 @@ class ExecutionModel:
         """
         if not 0 < speed <= 1:
             raise ValueError("speed must be in (0, 1]")
-        config = allocation.configuration()
-        bias = self._hardware_bias(job.job_id, allocation.gpu_type) * speed
-        if job.is_hybrid:
-            return self._execute_hybrid(job, allocation, bias)
-        if job.workload == "latency_inference":
-            return self._execute_serving(job, allocation, bias)
-        if plan is None:
-            return None
-        cap = profiles.max_local_bsz(job.model_name, allocation.gpu_type)
-        if plan.local_bsz > cap:
-            return None  # would OOM on real hardware
-        true_model = ThroughputModel(
-            profiles.true_throughput_params(job.model_name,
-                                            allocation.gpu_type))
-        iter_time = true_model.iter_time(
-            plan.local_bsz, config.num_gpus, config.num_nodes,
-            plan.accum_steps) / bias
-        total = config.num_gpus * plan.local_bsz * plan.accum_steps
-        throughput = total / iter_time
-        if job.workload == "batch_inference":
-            efficiency = 1.0  # progress is purely throughput-bound
-        else:
-            eff_params = profiles.true_efficiency_params(job.model_name)
-            efficiency = (eff_params.grad_noise_scale
-                          + eff_params.init_batch_size) / (
-                eff_params.grad_noise_scale + total)
-        return RoundExecution(goodput=throughput * efficiency,
-                              throughput=throughput, iter_time=iter_time,
-                              local_bsz=plan.local_bsz,
-                              accum_steps=plan.accum_steps,
-                              total_batch_size=total)
+        with self.tracer.span("execute", job=job.job_id,
+                              gpu_type=allocation.gpu_type,
+                              num_gpus=allocation.num_gpus):
+            config = allocation.configuration()
+            bias = self._hardware_bias(job.job_id,
+                                       allocation.gpu_type) * speed
+            if job.is_hybrid:
+                return self._execute_hybrid(job, allocation, bias)
+            if job.workload == "latency_inference":
+                return self._execute_serving(job, allocation, bias)
+            if plan is None:
+                return None
+            cap = profiles.max_local_bsz(job.model_name, allocation.gpu_type)
+            if plan.local_bsz > cap:
+                return None  # would OOM on real hardware
+            true_model = ThroughputModel(
+                profiles.true_throughput_params(job.model_name,
+                                                allocation.gpu_type))
+            iter_time = true_model.iter_time(
+                plan.local_bsz, config.num_gpus, config.num_nodes,
+                plan.accum_steps) / bias
+            total = config.num_gpus * plan.local_bsz * plan.accum_steps
+            throughput = total / iter_time
+            if job.workload == "batch_inference":
+                efficiency = 1.0  # progress is purely throughput-bound
+            else:
+                eff_params = profiles.true_efficiency_params(job.model_name)
+                efficiency = (eff_params.grad_noise_scale
+                              + eff_params.init_batch_size) / (
+                    eff_params.grad_noise_scale + total)
+            return RoundExecution(goodput=throughput * efficiency,
+                                  throughput=throughput, iter_time=iter_time,
+                                  local_bsz=plan.local_bsz,
+                                  accum_steps=plan.accum_steps,
+                                  total_batch_size=total)
 
     def _execute_serving(self, job: Job, allocation: Allocation,
                          bias: float) -> RoundExecution | None:

@@ -6,7 +6,14 @@ the benchmark harness is computed from.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+from repro.obs.tracer import SpanRecord, SpanStats
+
+#: the standard per-plan phase spans (see repro.schedulers.base.PLAN_PHASES;
+#: duplicated here to keep telemetry import-light).
+PHASE_SPAN_NAMES = ("bootstrap", "goodput_eval", "solve", "placement")
 
 
 @dataclass(frozen=True)
@@ -83,6 +90,9 @@ class RoundRecord:
     degraded: bool = False
     #: faults injected while planning this round.
     fault_events: list[FaultEvent] = field(default_factory=list)
+    #: cumulative metrics snapshot (repro.obs counters/gauges/histograms)
+    #: taken when the round was recorded.
+    metrics: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -98,12 +108,30 @@ class SimulationResult:
     censored: int = 0
     #: injected worker failures that occurred during the run.
     node_failures: int = 0
+    #: tracing spans recorded during the run (empty unless a Tracer was
+    #: attached via SimulatorConfig; not serialized — use repro.obs.export).
+    spans: list[SpanRecord] = field(default_factory=list, repr=False)
+    #: final metrics snapshot at the end of the run.
+    final_metrics: dict[str, float] = field(default_factory=dict)
+    #: fault/backend summaries restored by repro.io when the per-round
+    #: records were not serialized (None while rounds are authoritative).
+    saved_fault_counts: dict[str, int] | None = field(default=None,
+                                                      repr=False)
+    saved_backend_counts: dict[str, int] | None = field(default=None,
+                                                        repr=False)
+    #: lazily built job_id -> record index (invalidated by length change).
+    _job_index: dict[str, JobRecord] | None = field(default=None, init=False,
+                                                    repr=False, compare=False)
 
     def job(self, job_id: str) -> JobRecord:
-        for record in self.jobs:
-            if record.job_id == job_id:
-                return record
-        raise KeyError(f"no job record for {job_id!r}")
+        index = self._job_index
+        if index is None or len(index) != len(self.jobs):
+            index = {record.job_id: record for record in self.jobs}
+            self._job_index = index
+        try:
+            return index[job_id]
+        except KeyError:
+            raise KeyError(f"no job record for {job_id!r}") from None
 
     @property
     def completed_jobs(self) -> list[JobRecord]:
@@ -139,7 +167,36 @@ class SimulationResult:
         times = sorted(r.solve_time for r in self.rounds if r.active_jobs > 0)
         if not times:
             return 0.0
-        return times[len(times) // 2]
+        mid = len(times) // 2
+        if len(times) % 2:
+            return times[mid]
+        return (times[mid - 1] + times[mid]) / 2.0
+
+    # -- observability ---------------------------------------------------------
+
+    def phase_time_breakdown(self) -> dict[str, float]:
+        """Total seconds per standard plan phase (bootstrap, goodput_eval,
+        solve, placement) over the whole run.  Requires a traced run; the
+        totals sum (within span overhead) to the recorded ``solve_time``
+        across rounds."""
+        totals = {name: 0.0 for name in PHASE_SPAN_NAMES}
+        for span in self.spans:
+            if span.name in totals:
+                totals[span.name] += span.duration
+        return totals
+
+    def span_stats(self, name: str) -> SpanStats:
+        """Aggregate duration stats for every recorded span named ``name``."""
+        count, total = 0, 0.0
+        lo, hi = math.inf, 0.0
+        for span in self.spans:
+            if span.name != name:
+                continue
+            count += 1
+            total += span.duration
+            lo = min(lo, span.duration)
+            hi = max(hi, span.duration)
+        return SpanStats(name=name, count=count, total=total, min=lo, max=hi)
 
     # -- robustness telemetry --------------------------------------------------
 
@@ -153,7 +210,13 @@ class SimulationResult:
         return sum(len(r.fault_events) for r in self.rounds)
 
     def fault_counts(self) -> dict[str, int]:
-        """Injected faults by kind, over the whole run."""
+        """Injected faults by kind, over the whole run.
+
+        Rounds are the source of truth; when they were not serialized
+        (``save_result(include_rounds=False)``) the summary persisted by
+        :mod:`repro.io` is used instead."""
+        if not self.rounds and self.saved_fault_counts is not None:
+            return dict(self.saved_fault_counts)
         counts: dict[str, int] = {}
         for rnd in self.rounds:
             for event in rnd.fault_events:
@@ -161,7 +224,10 @@ class SimulationResult:
         return counts
 
     def backend_counts(self) -> dict[str, int]:
-        """Rounds by reported plan backend ('' = backend not reported)."""
+        """Rounds by reported plan backend ('' = backend not reported);
+        falls back to the io-persisted summary when rounds are absent."""
+        if not self.rounds and self.saved_backend_counts is not None:
+            return dict(self.saved_backend_counts)
         counts: dict[str, int] = {}
         for rnd in self.rounds:
             counts[rnd.backend] = counts.get(rnd.backend, 0) + 1
