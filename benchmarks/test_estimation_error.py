@@ -1,0 +1,75 @@
+"""Section 4.2 (bootstrapped throughput models): estimation-error convergence.
+
+Sia plans on bootstrapped throughput models that start from scaled
+single-GPU profiles and are refined online from the observations each round
+delivers.  The goodput ledger makes that convergence measurable: pooled
+median relative error between the goodput the ILP optimized and the goodput
+the executor delivered, split into early vs late job-age windows.
+
+The cluster has fixed per-(job, GPU type) hardware-rate variability the
+catalog does not know about, so:
+
+* the bootstrap's early-window error is visibly nonzero and its late-window
+  error shrinks as observations refine the fit (Figure 3's bootstrap ->
+  refined loop) — the PR's acceptance criterion;
+* the Oracle mode, which knows the catalog perfectly but never learns from
+  observations, stays stuck near the noise floor — online fitting beats
+  static knowledge under hardware variability.
+
+The workload is a fixed staggered job set (not a sampled paper trace): jobs
+must span enough rounds for within-job learning to show, which the
+quarter-scale paper traces' very short jobs do not.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once_benchmarked
+
+from repro.analysis import format_table
+from repro.cluster import presets
+from repro.core.types import ProfilingMode
+from repro.jobs.job import make_job
+from repro.obs import GoodputLedger
+from repro.schedulers import SiaScheduler
+from repro.sim.engine import simulate
+
+#: fixed per-(job, GPU type) speed variability the bootstrap must learn.
+RATE_NOISE = 0.3
+MODELS = ("resnet18", "bert", "resnet50", "yolov3", "deepspeech2")
+
+
+def run_modes():
+    cluster = presets.heterogeneous()
+    jobs = [make_job(f"j{i}", MODELS[i % len(MODELS)], i * 300.0,
+                     work_scale=0.15) for i in range(10)]
+    out = {}
+    for mode in (ProfilingMode.BOOTSTRAP, ProfilingMode.ORACLE):
+        result = simulate(cluster, SiaScheduler(), jobs, seed=1,
+                          rate_noise=RATE_NOISE, profiling_mode=mode,
+                          max_hours=200)
+        ledger = GoodputLedger.from_result(result)
+        out[mode.value] = (ledger.convergence_medians(num_windows=2),
+                           ledger.median_error(), len(ledger))
+    return out
+
+
+def test_estimation_error_converges(benchmark):
+    results = run_once_benchmarked(benchmark, run_modes)
+    rows = [{"mode": mode,
+             "entries": entries,
+             "early_median_err": round(medians[0], 4),
+             "late_median_err": round(medians[-1], 4),
+             "overall_median_err": round(overall, 4)}
+            for mode, (medians, overall, entries) in results.items()]
+    emit("estimation_error",
+         format_table(rows, title="Goodput-estimation error convergence"))
+
+    early, late = results["bootstrap"][0]
+    # The acceptance criterion: Sia's median goodput-estimation error
+    # shrinks after the bootstrap phase.
+    assert late < early
+    # The bootstrap starts visibly wrong under 0.3 rate noise...
+    assert early > 0.02
+    # ...and refines to beat the static catalog, which cannot learn the
+    # hardware bias at all.
+    assert results["bootstrap"][1] < results["oracle"][1]

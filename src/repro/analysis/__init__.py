@@ -6,14 +6,15 @@ from repro.analysis.experiments import (BENCH_SCALE, FULL_SCALE,
                                         compare_on_trace,
                                         rigid_scheduler_set, run_once,
                                         sample_trace)
+from repro.analysis.explain import explain_job
 from repro.analysis.render import (format_bars, format_series,
                                    format_table, improvement)
-from repro.analysis.report import build_report
+from repro.analysis.report import build_report, decision_digest_section
 
 __all__ = [
     "BENCH_SCALE", "FULL_SCALE", "ComparisonResult", "ExperimentScale",
     "adaptive_scheduler_set", "compare_on_trace", "rigid_scheduler_set",
     "run_once", "sample_trace",
     "format_bars", "format_series", "format_table", "improvement",
-    "build_report",
+    "build_report", "decision_digest_section", "explain_job",
 ]

@@ -16,6 +16,8 @@ from repro.jobs.job import Job
 from repro.metrics.fairness import fairness_metrics
 from repro.metrics.jct import gpu_hours_by_model, percentile, summarize
 from repro.metrics.utilization import average_utilization
+from repro.obs.audit import event_counts, migration_flows
+from repro.obs.ledger import GoodputLedger, queue_wait_by_job
 from repro.sim.telemetry import SimulationResult
 
 
@@ -79,6 +81,45 @@ def fairness_section(result: SimulationResult, jobs: list[Job],
     return "### Finish-time fairness\n\n" + _markdown_table(rows)
 
 
+def decision_digest_section(result: SimulationResult) -> str:
+    """Decision-level observability summary: allocation events by kind,
+    per-GPU-type migration flows, early-vs-late goodput-estimation error,
+    and the jobs that queued longest.  Empty string when the result carries
+    no per-round records (e.g. saved with ``include_rounds=False``)."""
+    events = result.allocation_events()
+    ledger = GoodputLedger.from_result(result)
+    if not events and not ledger.entries:
+        return ""
+    parts = [f"### Decision digest ({result.scheduler_name})\n"]
+    counts = event_counts(events)
+    if counts:
+        parts.append(_markdown_table([
+            {"event": kind, "count": counts[kind]}
+            for kind in sorted(counts, key=lambda k: -counts[k])]))
+    flows = migration_flows(events)
+    if flows:
+        parts.append("Migration flows between GPU types:\n")
+        parts.append(_markdown_table([
+            {"from": src, "to": dst, "migrations": count}
+            for (src, dst), count in sorted(flows.items())]))
+    medians = ledger.convergence_medians(num_windows=2)
+    if len(medians) == 2:
+        early, late = medians
+        trend = "shrank" if late <= early else "**grew**"
+        parts.append(f"Median goodput-estimation error {trend} from "
+                     f"{100 * early:.1f}% (early rounds) to "
+                     f"{100 * late:.1f}% (late rounds).\n")
+    waits = [(jid, wait) for jid, wait in queue_wait_by_job(result).items()
+             if wait > 0]
+    if waits:
+        waits.sort(key=lambda item: -item[1])
+        parts.append("Longest queue waits:\n")
+        parts.append(_markdown_table([
+            {"job": jid, "queued_hours": round(wait / 3600, 2)}
+            for jid, wait in waits[:5]]))
+    return "\n".join(parts)
+
+
 def build_report(results: list[SimulationResult], *,
                  title: str = "Simulation report",
                  jobs: list[Job] | None = None,
@@ -103,6 +144,9 @@ def build_report(results: list[SimulationResult], *,
                          f"{100 * utilization:.1f}%\n")
         if jobs is not None and cluster is not None:
             parts.append(fairness_section(result, jobs, cluster))
+        digest = decision_digest_section(result)
+        if digest:
+            parts.append(digest)
         if result.censored:
             parts.append(f"**Warning:** {result.censored} job(s) did not "
                          "finish before the simulation cap.\n")

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro compare --trace-name helios --num-jobs 48 \\
                             --schedulers sia,pollux,gavel
     python -m repro report results/*.json --out report.md
+    python -m repro explain result.json --job philly-0017
 
 ``run`` and ``compare`` accept either a saved trace file (``--trace``) or
 generator parameters (``--trace-name``/``--seed``/...).  Results can be
@@ -130,6 +131,10 @@ def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
         tracer=tracer)
     result = Simulator(cluster, scheduler, jobs, config).run()
     _export_observability(result, tracer, args, suffix)
+    if getattr(args, "ledger_out", None):
+        path = _suffixed(args.ledger_out, suffix)
+        io.save_ledger(result, path)
+        print(f"wrote goodput ledger to {path}")
     return result
 
 
@@ -233,6 +238,20 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis.explain import explain_job
+    result = io.load_result(args.result)
+    if not result.rounds:
+        raise SystemExit(f"{args.result} has no per-round records "
+                         "(saved with include_rounds=False?); re-run and "
+                         "save with rounds to explain decisions")
+    try:
+        print(explain_job(result, args.job, round_index=args.round))
+    except (KeyError, IndexError) as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     trace = resolve_trace(args)
     names = [s.strip() for s in args.schedulers.split(",") if s.strip()]
@@ -300,6 +319,10 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-digest", action="store_true",
                         help="print a per-run observability digest "
                              "(phase breakdown, span stats, metrics)")
+    parser.add_argument("--ledger-out", metavar="PATH",
+                        help="write the goodput ledger + allocation events "
+                             "as JSONL here (compare mode appends the "
+                             "scheduler name)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -336,6 +359,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--title", default="Simulation report")
     report.add_argument("--out", help="write the markdown here")
     report.set_defaults(func=cmd_report)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print one job's decision timeline from a saved result")
+    explain.add_argument("result",
+                         help="result JSON from `run --out` (with rounds)")
+    explain.add_argument("--job", required=True,
+                         help="job id to explain")
+    explain.add_argument("--round", type=int, default=None,
+                         help="zoom into one scheduling round")
+    explain.set_defaults(func=cmd_explain)
     return parser
 
 

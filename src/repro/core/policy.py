@@ -194,7 +194,15 @@ class SiaPolicy:
             views[i].job_id: configs[j]
             for i, j in solution.assignment.items()
         }
+        # Surface the raw (undiscounted, unshaped) goodput the ILP's utility
+        # row was built from — the estimate side of the goodput ledger.
+        estimates = {}
+        for i, j in solution.assignment.items():
+            value = goodputs[i].get(j, 0.0)
+            if value > 0:
+                estimates[views[i].job_id] = value
         return PolicyDecision(assignments=assignments,
                               solve_time=solution.solve_time,
                               objective=solution.objective,
-                              backend=backend, degraded=degraded)
+                              backend=backend, degraded=degraded,
+                              estimates=estimates)

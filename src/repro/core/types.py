@@ -144,3 +144,6 @@ class PolicyDecision:
     backend: str = ""
     #: True when the decision came from a degraded mode (solver fallback).
     degraded: bool = False
+    #: job id -> the goodput estimate the policy optimized for the chosen
+    #: configuration (feeds the goodput ledger; absent for unassigned jobs).
+    estimates: dict[str, float] = field(default_factory=dict)

@@ -14,6 +14,8 @@ from typing import Any
 from repro.core.types import AdaptivityMode
 from repro.jobs.hybrid import HybridSpec
 from repro.jobs.job import Job
+from repro.obs.audit import AllocationEvent
+from repro.obs.ledger import GoodputLedger, LedgerEntry
 from repro.sim.telemetry import (FaultEvent, JobRecord, RoundRecord,
                                  SimulationResult)
 from repro.workloads.trace import Trace
@@ -103,6 +105,8 @@ def _record_to_dict(record: JobRecord) -> dict[str, Any]:
         "first_start": record.first_start,
         "finish_time": record.finish_time,
         "num_restarts": record.num_restarts,
+        "num_preemptions": record.num_preemptions,
+        "num_migrations": record.num_migrations,
         "gpu_seconds": dict(record.gpu_seconds),
         "profiling_gpu_seconds": record.profiling_gpu_seconds,
         "avg_contention": record.avg_contention,
@@ -133,6 +137,17 @@ def _round_to_dict(record: RoundRecord) -> dict[str, Any]:
         } for e in record.fault_events]
     if record.metrics:
         data["metrics"] = dict(record.metrics)
+    # Decision-level observability (goodput ledger + audit trail) is also
+    # written only when present, keeping fault-free pre-ledger results
+    # byte-compatible.
+    if record.estimates:
+        data["estimates"] = dict(record.estimates)
+    if record.realized:
+        data["realized"] = dict(record.realized)
+    if record.throughputs:
+        data["throughputs"] = dict(record.throughputs)
+    if record.events:
+        data["events"] = [e.to_dict() for e in record.events]
     return data
 
 
@@ -178,6 +193,8 @@ def load_result(path: str | Path) -> SimulationResult:
             submit_time=item["submit_time"], first_start=item["first_start"],
             finish_time=item["finish_time"],
             num_restarts=item["num_restarts"],
+            num_preemptions=item.get("num_preemptions", 0),
+            num_migrations=item.get("num_migrations", 0),
             gpu_seconds=dict(item["gpu_seconds"]),
             profiling_gpu_seconds=item.get("profiling_gpu_seconds", 0.0),
             avg_contention=item.get("avg_contention", 0.0),
@@ -195,8 +212,62 @@ def load_result(path: str | Path) -> SimulationResult:
                                      target=e["target"],
                                      detail=e.get("detail", ""))
                           for e in item.get("fault_events", [])],
-            metrics=dict(item.get("metrics", {}))))
+            metrics=dict(item.get("metrics", {})),
+            estimates=dict(item.get("estimates", {})),
+            realized=dict(item.get("realized", {})),
+            throughputs=dict(item.get("throughputs", {})),
+            events=[AllocationEvent.from_dict(e)
+                    for e in item.get("events", [])]))
     return result
+
+
+# -- goodput ledger (JSONL) ---------------------------------------------------
+
+def save_ledger(result: SimulationResult, path: str | Path) -> None:
+    """Export the run's goodput ledger and audit trail as JSONL: a header
+    line, one ``ledger_entry`` line per (round, job) allocation, and one
+    ``alloc_event`` line per classified allocation change.  This is the
+    CLI's ``--ledger-out`` format; :func:`load_ledger` round-trips it."""
+    ledger = GoodputLedger.from_result(result)
+    lines = [json.dumps({
+        "kind": "ledger", "format_version": FORMAT_VERSION,
+        "scheduler_name": result.scheduler_name,
+        "num_rounds": len(result.rounds),
+    })]
+    for entry in ledger.entries:
+        lines.append(json.dumps({"kind": "ledger_entry", **entry.to_dict()}))
+    for event in result.allocation_events():
+        # The event's own dict carries a "kind" (the event kind), so it is
+        # nested rather than spread into the line.
+        lines.append(json.dumps({"kind": "alloc_event",
+                                 "event": event.to_dict()}))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_ledger(path: str | Path,
+                ) -> tuple[GoodputLedger, list[AllocationEvent]]:
+    """Read a ``--ledger-out`` JSONL file back into a
+    :class:`~repro.obs.ledger.GoodputLedger` plus its allocation events."""
+    entries: list[LedgerEntry] = []
+    events: list[AllocationEvent] = []
+    header_seen = False
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        item = json.loads(line)
+        kind = item.get("kind")
+        if kind == "ledger":
+            _check_payload(item, "ledger")
+            header_seen = True
+        elif kind == "ledger_entry":
+            entries.append(LedgerEntry.from_dict(item))
+        elif kind == "alloc_event":
+            events.append(AllocationEvent.from_dict(item["event"]))
+        else:
+            raise ValueError(f"unknown ledger line kind {kind!r}")
+    if not header_seen:
+        raise ValueError(f"{path} is not a ledger JSONL (missing header)")
+    return GoodputLedger(entries), events
 
 
 def _check_payload(payload: dict[str, Any], kind: str) -> None:

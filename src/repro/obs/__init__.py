@@ -6,6 +6,10 @@
   and histograms, snapshotted per round by the simulator.
 * :mod:`repro.obs.export`  — Chrome/Perfetto ``trace_event`` JSON, JSONL
   event logs, and human-readable digests.
+* :mod:`repro.obs.ledger`  — per-job goodput ledger: estimated vs realized
+  goodput per round, estimation-error series, queue-wait attribution.
+* :mod:`repro.obs.audit`   — decision audit trail: classified
+  allocation-change events (admit/scale/migrate/preempt/resume/finish).
 
 Attach a tracer to a simulation via ``SimulatorConfig(tracer=Tracer())``
 (the CLI's ``--trace-out``/``--events-out`` do this for you), then read
@@ -13,16 +17,23 @@ Attach a tracer to a simulation via ``SimulatorConfig(tracer=Tracer())``
 or export with :func:`repro.obs.export.write_chrome_trace`.
 """
 
+from repro.obs.audit import (AllocationEvent, AuditTrail, classify_change,
+                             event_counts, events_for_job, migration_flows)
 from repro.obs.export import (chrome_trace, read_events_jsonl, run_digest,
                               span_digest, validate_chrome_trace,
                               write_chrome_trace, write_events_jsonl)
+from repro.obs.ledger import GoodputLedger, LedgerEntry, queue_wait_by_job
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.tracer import (NULL_TRACER, NullTracer, SpanRecord, SpanStats,
-                              Tracer)
+from repro.obs.tracer import (NULL_TRACER, PLAN_PHASES, NullTracer,
+                              SpanRecord, SpanStats, Tracer)
 
 __all__ = [
-    "Tracer", "NullTracer", "NULL_TRACER", "SpanRecord", "SpanStats",
+    "Tracer", "NullTracer", "NULL_TRACER", "PLAN_PHASES", "SpanRecord",
+    "SpanStats",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
     "write_events_jsonl", "read_events_jsonl", "span_digest", "run_digest",
+    "GoodputLedger", "LedgerEntry", "queue_wait_by_job",
+    "AllocationEvent", "AuditTrail", "classify_change", "event_counts",
+    "events_for_job", "migration_flows",
 ]

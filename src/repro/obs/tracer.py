@@ -26,6 +26,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+#: the standard phase spans every scheduler emits inside its ``plan`` span
+#: (Figure 9's solve-time scalar, split into where the time actually goes).
+#: Canonical home — ``repro.schedulers.base`` and ``repro.sim.telemetry``
+#: both alias this tuple.
+PLAN_PHASES = ("bootstrap", "goodput_eval", "solve", "placement")
+
 
 @dataclass
 class SpanRecord:

@@ -17,11 +17,10 @@ from dataclasses import dataclass, field
 from repro.cluster.cluster import Cluster
 from repro.core.types import Allocation, Configuration
 from repro.jobs.job import Job
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.tracer import NULL_TRACER, PLAN_PHASES, Tracer
 
-#: the standard phase spans every scheduler emits inside its ``plan`` span
-#: (Figure 9's solve-time scalar, split into where the time actually goes).
-PLAN_PHASES = ("bootstrap", "goodput_eval", "solve", "placement")
+__all__ = ["JobView", "RoundPlan", "PlanTimer", "Scheduler", "PLAN_PHASES",
+           "pack_gpus_on_type"]
 
 
 @dataclass
@@ -71,6 +70,11 @@ class RoundPlan:
     #: True when the plan came from a degraded mode (fallback backend,
     #: open circuit breaker, or carry-forward).
     degraded: bool = False
+    #: job id -> the goodput the scheduler believed the chosen allocation
+    #: would deliver — the number its optimization ran on.  Feeds the
+    #: goodput ledger (:mod:`repro.obs.ledger`); jobs without resources
+    #: (and carried-forward plans) have no entry.
+    estimates: dict[str, float] = field(default_factory=dict)
 
     def validate(self, cluster: Cluster) -> None:
         """Raise if the plan over-subscribes any node or mixes types."""
@@ -154,6 +158,31 @@ class Scheduler(abc.ABC):
     def planning(self, views: list[JobView]) -> PlanTimer:
         """The span-backed clock every ``decide()`` wraps its body in."""
         return PlanTimer(self.tracer, self.name, len(views))
+
+    def record_estimates(self, views: list[JobView],
+                         plan: RoundPlan) -> RoundPlan:
+        """Decision-observability hook: stamp ``plan.estimates`` with the
+        goodput each allocated job's estimator predicts for its chosen
+        allocation — the number the scheduler's optimization ran on.
+
+        Every ``decide()`` calls this before returning; schedulers whose
+        optimization already produced per-job estimates (Sia's ILP) pre-fill
+        ``plan.estimates`` and this hook only covers the gaps.  Estimator
+        failures are skipped rather than raised — observability must never
+        change scheduling outcomes.
+        """
+        for view in views:
+            allocation = plan.allocations.get(view.job_id)
+            if allocation is None or view.job_id in plan.estimates:
+                continue
+            try:
+                value = float(view.estimator.goodput(
+                    allocation.configuration()))
+            except Exception:
+                continue
+            if value > 0:
+                plan.estimates[view.job_id] = value
+        return plan
 
     def make_estimator(self, job: Job, cluster: Cluster,
                        profiling_mode) -> object:

@@ -197,6 +197,8 @@ class GavelScheduler(Scheduler):
                         continue
                     plan.allocations[view.job_id] = allocation
                     scheduled.add(i)
+                    plan.estimates[view.job_id] = float(xput[i, k])
                     self._received[(view.job_id, gpu_type)] = \
                         self._received.get((view.job_id, gpu_type), 0.0) + 1.0
+            self.record_estimates(views, plan)
             return timer.finish(plan)

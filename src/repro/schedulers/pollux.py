@@ -304,6 +304,9 @@ class PolluxScheduler(Scheduler):
                     allocation = self._fix_mixed_types(allocation, view)
                     if allocation is not None:
                         plan.allocations[view.job_id] = allocation
+            # Estimates come from the jobs' type-blind models — exactly the
+            # (possibly conflated) numbers the GA's fitness ran on.
+            self.record_estimates(views, plan)
             return timer.finish(plan)
 
     def _place_mixed(self, cluster: Cluster, count: int,

@@ -100,6 +100,7 @@ class ShockwaveScheduler(Scheduler):
                                              previous.get(view.job_id))
                     if allocation is not None:
                         plan.allocations[view.job_id] = allocation
+            self.record_estimates(views, plan)
             return timer.finish(plan)
 
 

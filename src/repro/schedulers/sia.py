@@ -45,5 +45,11 @@ class SiaScheduler(Scheduler):
             plan = RoundPlan(allocations=placement.allocations,
                              objective=decision.objective,
                              backend=decision.backend,
-                             degraded=decision.degraded)
+                             degraded=decision.degraded,
+                             estimates={jid: est for jid, est
+                                        in decision.estimates.items()
+                                        if jid in placement.allocations})
+            # The ILP's own numbers win; the base hook fills any job the
+            # Placer allocated without a policy estimate.
+            self.record_estimates(views, plan)
             return timer.finish(plan)

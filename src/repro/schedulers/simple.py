@@ -48,6 +48,7 @@ class FIFOScheduler(Scheduler):
                     allocation = place_rigid(view, cluster, occupancy, None)
                     if allocation is not None:
                         plan.allocations[view.job_id] = allocation
+            self.record_estimates(views, plan)
             return timer.finish(plan)
 
 
@@ -91,4 +92,5 @@ class SRTFScheduler(Scheduler):
                                              previous.get(view.job_id))
                     if allocation is not None:
                         plan.allocations[view.job_id] = allocation
+            self.record_estimates(views, plan)
             return timer.finish(plan)

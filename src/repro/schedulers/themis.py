@@ -49,6 +49,7 @@ class ThemisScheduler(Scheduler):
                                              previous.get(view.job_id))
                     if allocation is not None:
                         plan.allocations[view.job_id] = allocation
+            self.record_estimates(views, plan)
             return timer.finish(plan)
 
     @staticmethod

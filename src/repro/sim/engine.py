@@ -35,11 +35,12 @@ from repro.cluster.cluster import Cluster
 from repro.core.resilience import carry_forward_plan
 from repro.core.types import Allocation, ProfilingMode
 from repro.jobs.job import Job
+from repro.obs import audit
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.goodput import BatchPlan
 from repro.schedulers.base import JobView, RoundPlan, Scheduler
-from repro.sim.executor import ExecutionModel
+from repro.sim.executor import ExecutionModel, RoundExecution
 from repro.sim.faults import FaultContext, FaultModel, NodeCrashModel
 from repro.sim.telemetry import JobRecord, RoundRecord, SimulationResult
 
@@ -90,6 +91,13 @@ class _JobRuntime:
     allocation: Allocation | None = None
     restart_remaining: float = 0.0
     num_restarts: int = 0
+    #: scheduler-decided resource losses while running (audit: PREEMPT).
+    num_preemptions: int = 0
+    #: moves while running — type change or node move (audit: MIGRATE).
+    num_migrations: int = 0
+    #: True from a fault eviction/crash until the job holds GPUs again,
+    #: so re-acquiring resources classifies as RESTART_AFTER_FAULT.
+    lost_to_fault: bool = False
     first_start: float | None = None
     finish_time: float | None = None
     gpu_seconds: dict[str, float] = field(default_factory=dict)
@@ -102,6 +110,14 @@ class _JobRuntime:
         gpu_type = self.allocation.gpu_type
         amount = self.allocation.num_gpus * seconds
         self.gpu_seconds[gpu_type] = self.gpu_seconds.get(gpu_type, 0.0) + amount
+
+
+def _audit_alloc(allocation: Allocation | None,
+                 ) -> tuple[str, int, tuple[int, ...]] | None:
+    """An allocation as the (dependency-free) audit classifier sees it."""
+    if allocation is None:
+        return None
+    return (allocation.gpu_type, allocation.num_gpus, allocation.node_ids)
 
 
 class Simulator:
@@ -183,7 +199,8 @@ class Simulator:
 
             with self.tracer.span("round", index=len(result.rounds),
                                   time=now, active_jobs=len(active)):
-                record = self._run_round(active, finished, now, dt)
+                record = self._run_round(active, finished, now, dt,
+                                         len(result.rounds))
             result.rounds.append(record)
             now += dt
 
@@ -202,13 +219,21 @@ class Simulator:
 
     def _run_round(self, active: dict[str, _JobRuntime],
                    finished: list[_JobRuntime], now: float,
-                   dt: float) -> RoundRecord:
+                   dt: float, round_index: int) -> RoundRecord:
         """Steps 2-5 of the main loop: faults, plan, apply, advance."""
+        # Audit snapshot: what each job held (and whether it had ever run)
+        # before faults and the new plan touch anything — the "before" side
+        # of this round's allocation-change events.
+        held_before = {jid: rt.allocation for jid, rt in active.items()}
+        ran_before = {jid: rt.first_start is not None
+                      for jid, rt in active.items()}
+
         # 2. fault injection (Section 3.5): down nodes evict their jobs
         # to the last epoch checkpoint; crashed jobs roll back in place;
         # failed restores pay the restart delay again; stragglers slow
         # the ground-truth rates.
-        cluster_view, fault_events = self._inject_faults(active, now, dt)
+        cluster_view, fault_events, fault_hit = \
+            self._inject_faults(active, now, dt)
 
         # 3. scheduling decision over the surviving nodes (the scheduler
         # emits the plan span with its phase children)
@@ -268,7 +293,32 @@ class Simulator:
         record = RoundRecord(time=now, active_jobs=contention,
                              running_jobs=0, solve_time=plan.solve_time,
                              backend=plan.backend, degraded=plan.degraded,
-                             fault_events=fault_events)
+                             fault_events=fault_events,
+                             estimates={jid: est for jid, est
+                                        in plan.estimates.items()
+                                        if jid in active})
+
+        # 4c. decision audit: diff what each job held at the start of the
+        # round against what it holds now and classify the change (admit,
+        # scale, migrate, preempt, resume, restart-after-fault).
+        for job_id, rt in active.items():
+            event = audit.classify_change(
+                job_id, now,
+                held=_audit_alloc(held_before[job_id]),
+                new=_audit_alloc(rt.allocation),
+                ran_before=ran_before[job_id],
+                fault_hit=job_id in fault_hit or rt.lost_to_fault,
+                round_index=round_index)
+            if event is not None:
+                record.events.append(event)
+                if event.kind == audit.PREEMPT \
+                        and event.cause == audit.CAUSE_SCHEDULER:
+                    rt.num_preemptions += 1
+                elif event.kind == audit.MIGRATE:
+                    rt.num_migrations += 1
+            if rt.allocation is not None:
+                rt.lost_to_fault = False
+
         with self.tracer.span("advance"):
             done_ids: list[str] = []
             for job_id, rt in active.items():
@@ -282,8 +332,19 @@ class Simulator:
                                               config.num_gpus)
                 record.gpus_used[config.gpu_type] = \
                     record.gpus_used.get(config.gpu_type, 0) + config.num_gpus
-                if self._advance(rt, now, dt):
+                done, execution = self._advance(rt, now, dt)
+                # Ledger: the rates the executor actually delivered (zero
+                # for a round fully spent restoring or unable to run).
+                record.realized[job_id] = \
+                    execution.goodput if execution is not None else 0.0
+                if execution is not None:
+                    record.throughputs[job_id] = execution.throughput
+                if done:
                     done_ids.append(job_id)
+                    record.events.append(audit.AllocationEvent(
+                        kind=audit.FINISH, time=rt.finish_time or now,
+                        job_id=job_id, from_gpu_type=config.gpu_type,
+                        from_gpus=config.num_gpus, round_index=round_index))
             for job_id in done_ids:
                 finished.append(active.pop(job_id))
 
@@ -303,6 +364,8 @@ class Simulator:
             m.counter("carry_forward_rounds").inc()
         m.gauge("queue_depth").set(record.active_jobs - record.running_jobs)
         m.histogram("solve_time_s").observe(record.solve_time)
+        for event in record.events:
+            m.counter(f"alloc_events.{event.kind}").inc()
         for gpu_type, cap in self.cluster.capacities().items():
             used = record.gpus_used.get(gpu_type, 0)
             m.gauge(f"util.{gpu_type}").set(used / cap if cap else 0.0)
@@ -313,12 +376,14 @@ class Simulator:
         rt.progress = (rt.progress // epoch) * epoch
 
     def _inject_faults(self, active: dict[str, _JobRuntime], now: float,
-                       dt: float) -> tuple[Cluster, list]:
+                       dt: float) -> tuple[Cluster, list, set[str]]:
         """Sample every fault model, apply the aggregate to jobs, and
-        return (cluster view of surviving nodes, fault events)."""
+        return (cluster view of surviving nodes, fault events, ids of jobs
+        a fault evicted or crashed this round)."""
         self._round_speed = {}
         if not self._fault_models:
-            return self.cluster, []
+            return self.cluster, [], set()
+        fault_hit: set[str] = set()
         with self.tracer.span("faults", models=len(self._fault_models)):
             ctx = FaultContext(
                 now=now, dt=dt, cluster=self.cluster,
@@ -336,7 +401,7 @@ class Simulator:
             if down:
                 # Evict jobs touching a down node; roll back to the
                 # checkpoint.
-                for rt in active.values():
+                for job_id, rt in active.items():
                     if rt.allocation is None:
                         continue
                     if any(nid in down for nid in rt.allocation.node_ids):
@@ -344,6 +409,8 @@ class Simulator:
                         rt.allocation = None
                         rt.restart_remaining = 0.0
                         rt.num_restarts += 1
+                        rt.lost_to_fault = True
+                        fault_hit.add(job_id)
 
             # Transient job crashes: roll back in place and pay a fresh
             # restore.
@@ -354,6 +421,8 @@ class Simulator:
                 self._rollback(rt)
                 rt.restart_remaining = rt.job.restart_delay
                 rt.num_restarts += 1
+                rt.lost_to_fault = True
+                fault_hit.add(job_id)
 
             # Straggler slowdowns, felt through the ground-truth rates: a
             # job runs at the pace of its slowest surviving node.
@@ -366,7 +435,7 @@ class Simulator:
                         self._round_speed[job_id] = factor
 
             if not down:
-                return self.cluster, ctx.events
+                return self.cluster, ctx.events, fault_hit
             up_nodes = tuple(n for n in self.cluster.nodes
                              if n.node_id not in down)
             if not up_nodes:
@@ -378,7 +447,7 @@ class Simulator:
                     model.revive(first_back)
                 up_nodes = tuple(n for n in self.cluster.nodes
                                  if n.node_id == first_back)
-            return Cluster(nodes=up_nodes), ctx.events
+            return Cluster(nodes=up_nodes), ctx.events, fault_hit
 
     def _view(self, rt: _JobRuntime, now: float) -> JobView:
         age = (now - rt.first_start) if rt.first_start is not None else 0.0
@@ -403,8 +472,14 @@ class Simulator:
                 return estimator.best_plan(config.num_gpus, config.num_nodes)
         return None
 
-    def _advance(self, rt: _JobRuntime, now: float, dt: float) -> bool:
-        """Run one round for a job holding resources; True when finished."""
+    def _advance(self, rt: _JobRuntime, now: float,
+                 dt: float) -> tuple[bool, RoundExecution | None]:
+        """Run one round for a job holding resources.
+
+        Returns ``(finished, execution)`` where ``execution`` carries the
+        realized rates for the goodput ledger (None when the round produced
+        no progress: still restoring, or the plan could not run).
+        """
         assert rt.allocation is not None
         delay = min(rt.restart_remaining, dt)
         rt.restart_remaining -= delay
@@ -413,13 +488,13 @@ class Simulator:
         plan = self._choose_plan(rt)
         if run_time <= 0:
             rt.charge_gpus(dt)
-            return False
+            return False, None
         speed = self._round_speed.get(rt.job.job_id, 1.0)
         execution = self._execution.execute(rt.job, rt.allocation, plan,
                                             speed=speed)
         if execution is None or execution.goodput <= 0:
             rt.charge_gpus(dt)
-            return False
+            return False, None
 
         before = rt.progress
         rt.progress = before + execution.goodput * run_time
@@ -427,7 +502,7 @@ class Simulator:
             run_needed = (rt.job.target_samples - before) / execution.goodput
             rt.finish_time = now + delay + run_needed
             rt.charge_gpus(delay + run_needed)
-            return True
+            return True, execution
 
         rt.charge_gpus(dt)
         # online refinement: the executor reports this round's measurements
@@ -435,7 +510,7 @@ class Simulator:
             self._execution.observe(rt.job, rt.allocation, execution))
         rt.estimator.update_gradient_stats(
             self._execution.observed_noise_scale(rt.job))
-        return False
+        return False, execution
 
     def _record(self, rt: _JobRuntime) -> JobRecord:
         profiling = getattr(rt.estimator, "profiling_gpu_seconds", 0.0)
@@ -450,6 +525,8 @@ class Simulator:
             first_start=rt.first_start,
             finish_time=rt.finish_time,
             num_restarts=rt.num_restarts,
+            num_preemptions=rt.num_preemptions,
+            num_migrations=rt.num_migrations,
             gpu_seconds=dict(rt.gpu_seconds),
             profiling_gpu_seconds=profiling,
             avg_contention=avg_contention,

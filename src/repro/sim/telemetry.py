@@ -9,11 +9,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.obs.tracer import SpanRecord, SpanStats
+from repro.obs.audit import AllocationEvent
+from repro.obs.tracer import PLAN_PHASES, SpanRecord, SpanStats
 
-#: the standard per-plan phase spans (see repro.schedulers.base.PLAN_PHASES;
-#: duplicated here to keep telemetry import-light).
-PHASE_SPAN_NAMES = ("bootstrap", "goodput_eval", "solve", "placement")
+#: the standard per-plan phase spans — an alias of the canonical
+#: :data:`repro.obs.tracer.PLAN_PHASES` (``repro.schedulers.base`` re-exports
+#: the same tuple).
+PHASE_SPAN_NAMES = PLAN_PHASES
 
 
 @dataclass(frozen=True)
@@ -43,6 +45,13 @@ class JobRecord:
     first_start: float | None
     finish_time: float | None
     num_restarts: int
+    #: times the scheduler took the job's resources away while it was
+    #: running (a strict subset of the causes behind ``num_restarts``,
+    #: which also counts fault restarts and allocation changes).
+    num_preemptions: int = 0
+    #: times the job moved — GPU-type change or same-type node move —
+    #: while running (fault-forced restarts are not migrations).
+    num_migrations: int = 0
     #: GPU-seconds actually held, per GPU type (includes restore delays).
     gpu_seconds: dict[str, float] = field(default_factory=dict)
     profiling_gpu_seconds: float = 0.0
@@ -93,6 +102,18 @@ class RoundRecord:
     #: cumulative metrics snapshot (repro.obs counters/gauges/histograms)
     #: taken when the round was recorded.
     metrics: dict[str, float] = field(default_factory=dict)
+    #: job id -> goodput the scheduler believed the chosen allocation would
+    #: deliver when it planned this round (the goodput ledger's estimate
+    #: side; absent for carried-forward plans).
+    estimates: dict[str, float] = field(default_factory=dict)
+    #: job id -> goodput the executor actually delivered this round (0.0
+    #: for a round fully spent in checkpoint-restore).
+    realized: dict[str, float] = field(default_factory=dict)
+    #: job id -> realized raw throughput, samples/s.
+    throughputs: dict[str, float] = field(default_factory=dict)
+    #: classified allocation-change events that took effect this round
+    #: (admit/scale/migrate/preempt/resume/restart/finish).
+    events: list[AllocationEvent] = field(default_factory=list)
 
 
 @dataclass
@@ -163,6 +184,10 @@ class SimulationResult:
             timeline.append((rnd.time, gpu_type, count))
         return timeline
 
+    def allocation_events(self) -> list[AllocationEvent]:
+        """Every classified allocation-change event, in round order."""
+        return [event for rnd in self.rounds for event in rnd.events]
+
     def median_solve_time(self) -> float:
         times = sorted(r.solve_time for r in self.rounds if r.active_jobs > 0)
         if not times:
@@ -209,29 +234,30 @@ class SimulationResult:
     def total_fault_events(self) -> int:
         return sum(len(r.fault_events) for r in self.rounds)
 
-    def fault_counts(self) -> dict[str, int]:
-        """Injected faults by kind, over the whole run.
-
-        Rounds are the source of truth; when they were not serialized
-        (``save_result(include_rounds=False)``) the summary persisted by
-        :mod:`repro.io` is used instead."""
-        if not self.rounds and self.saved_fault_counts is not None:
-            return dict(self.saved_fault_counts)
+    def _summary_counts(self, saved: dict[str, int] | None,
+                        keys_of_round) -> dict[str, int]:
+        """Single code path for both round summaries: rounds are the source
+        of truth whenever present; otherwise the summary persisted by
+        :mod:`repro.io` (``save_result(include_rounds=False)``) is used;
+        otherwise the summary is empty."""
+        if not self.rounds:
+            return dict(saved) if saved is not None else {}
         counts: dict[str, int] = {}
         for rnd in self.rounds:
-            for event in rnd.fault_events:
-                counts[event.kind] = counts.get(event.kind, 0) + 1
+            for key in keys_of_round(rnd):
+                counts[key] = counts.get(key, 0) + 1
         return counts
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected faults by kind, over the whole run."""
+        return self._summary_counts(
+            self.saved_fault_counts,
+            lambda rnd: (event.kind for event in rnd.fault_events))
 
     def backend_counts(self) -> dict[str, int]:
-        """Rounds by reported plan backend ('' = backend not reported);
-        falls back to the io-persisted summary when rounds are absent."""
-        if not self.rounds and self.saved_backend_counts is not None:
-            return dict(self.saved_backend_counts)
-        counts: dict[str, int] = {}
-        for rnd in self.rounds:
-            counts[rnd.backend] = counts.get(rnd.backend, 0) + 1
-        return counts
+        """Rounds by reported plan backend ('' = backend not reported)."""
+        return self._summary_counts(self.saved_backend_counts,
+                                    lambda rnd: (rnd.backend,))
 
     def fault_timeline(self) -> list[FaultEvent]:
         """Every injected fault in simulation-time order."""

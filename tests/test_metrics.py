@@ -39,6 +39,24 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([], 50)
 
+    def test_empty_raises_for_any_q(self):
+        for q in (0, 50, 100):
+            with pytest.raises(ValueError):
+                percentile([], q)
+
+    def test_single_element_is_every_percentile(self):
+        for q in (0, 25, 50, 99, 100):
+            assert percentile([7.5], q) == 7.5
+
+    def test_extreme_quantiles_are_min_and_max(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
 
 class TestSummarize:
     def test_all_fields_populated(self, sample_result):
@@ -174,3 +192,34 @@ class TestUtilization:
         empty = SimulationResult("sia", cluster.describe(),
                                  rounds=[RoundRecord(0.0, 0, 0, 0.0)])
         assert average_utilization(empty, cluster) == 0.0
+
+    def test_queue_series_empty_result(self):
+        result = SimulationResult("sia", "c")
+        assert queue_length_series(result) == []
+
+    def test_queue_series_counts_waiting_jobs(self):
+        result = SimulationResult("sia", "c", rounds=[
+            RoundRecord(0.0, active_jobs=3, running_jobs=1, solve_time=0.0),
+            RoundRecord(60.0, active_jobs=3, running_jobs=3, solve_time=0.0),
+        ])
+        assert queue_length_series(result) == [(0.0, 2), (60.0, 0)]
+
+    def test_by_type_idle_rounds_excluded(self):
+        cluster = presets.heterogeneous()
+        result = SimulationResult("sia", cluster.describe(), rounds=[
+            # idle round must not dilute the average
+            RoundRecord(0.0, 0, 0, 0.0),
+            RoundRecord(60.0, 1, 1, 0.0,
+                        gpus_used={"a100": cluster.capacity("a100")}),
+        ])
+        by_type = utilization_by_type(result, cluster)
+        assert by_type["a100"] == 1.0
+        assert by_type["t4"] == 0.0
+
+    def test_by_type_all_idle_is_zero(self):
+        cluster = presets.heterogeneous()
+        result = SimulationResult("sia", cluster.describe(),
+                                  rounds=[RoundRecord(0.0, 0, 0, 0.0)])
+        by_type = utilization_by_type(result, cluster)
+        assert set(by_type) == set(cluster.gpu_types)
+        assert all(v == 0.0 for v in by_type.values())
