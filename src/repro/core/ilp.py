@@ -29,6 +29,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 
 try:  # scipy is an install dependency, but keep the pure-Python path alive.
     from scipy.optimize import Bounds, LinearConstraint, milp
+    from scipy.sparse import csr_array
     _HAVE_SCIPY = True
 except ImportError:  # pragma: no cover - exercised only without scipy
     _HAVE_SCIPY = False
@@ -139,42 +140,59 @@ def _validate(problem: AssignmentProblem, solution: AssignmentSolution) -> None:
 
 def _solve_milp(problem: AssignmentProblem,
                 time_limit: float | None = None) -> AssignmentSolution:
-    pairs = problem.feasible_pairs()
-    if not pairs:
+    """Sparse constraint assembly: one variable per feasible (job, config)
+    pair; each constraint row touches only its own pairs, so the matrix has
+    exactly ``2 * n_vars`` potential nonzeros regardless of problem size
+    (the old dense assembly allocated ``n_rows * n_vars`` zeros)."""
+    util = problem.utilities
+    pair_jobs, pair_cols = np.nonzero(~np.isnan(util))  # row-major order
+    n_vars = int(pair_jobs.size)
+    if n_vars == 0:
         return AssignmentSolution({}, 0.0, 0.0)
-    pair_index = {pair: idx for idx, pair in enumerate(pairs)}
-    n_vars = len(pairs)
-    cost = np.array([-problem.utilities[i, j] for i, j in pairs])
+    cost = -util[pair_jobs, pair_cols]
 
-    rows: list[np.ndarray] = []
-    uppers: list[float] = []
-    # (a) each job picks at most one configuration.
-    by_job: dict[int, list[int]] = {}
-    for idx, (i, _) in enumerate(pairs):
-        by_job.setdefault(i, []).append(idx)
-    for indices in by_job.values():
-        row = np.zeros(n_vars)
-        row[indices] = 1.0
-        rows.append(row)
-        uppers.append(1.0)
-    # (b) per-GPU-type capacity.
-    for gpu_type, cap in problem.capacities.items():
-        row = np.zeros(n_vars)
-        hit = False
-        for idx, (_, j) in enumerate(pairs):
-            if problem.config_types[j] == gpu_type:
-                row[idx] = float(problem.config_gpus[j])
-                hit = True
-        if hit:
-            rows.append(row)
-            uppers.append(float(cap))
+    # (a) each job picks at most one configuration.  ``np.unique`` returns
+    # jobs ascending, which for row-major pairs matches first appearance.
+    unique_jobs, job_row = np.unique(pair_jobs, return_inverse=True)
+    n_job_rows = int(unique_jobs.size)
+
+    # (b) per-GPU-type capacity, one row per type with >= 1 feasible pair,
+    # in ``capacities`` iteration order.
+    cap_types = list(problem.capacities)
+    type_pos = {t: k for k, t in enumerate(cap_types)}
+    config_type_pos = np.fromiter(
+        (type_pos.get(t, -1) for t in problem.config_types),
+        dtype=np.int64, count=len(problem.config_types))
+    pair_type = config_type_pos[pair_cols]
+    typed = np.flatnonzero(pair_type >= 0)
+    hit_types = np.unique(pair_type[typed])  # sorted == capacities order
+    type_row = np.full(len(cap_types), -1, dtype=np.int64)
+    type_row[hit_types] = n_job_rows + np.arange(hit_types.size)
+
+    entry_rows = np.concatenate([job_row, type_row[pair_type[typed]]])
+    entry_cols = np.concatenate([np.arange(n_vars), typed])
+    entry_vals = np.concatenate([
+        np.ones(n_vars),
+        problem.config_gpus[pair_cols[typed]].astype(float),
+    ])
+    n_rows = n_job_rows + int(hit_types.size)
+    a_matrix = csr_array((entry_vals, (entry_rows, entry_cols)),
+                         shape=(n_rows, n_vars))
+    uppers = np.concatenate([
+        np.ones(n_job_rows),
+        np.array([float(problem.capacities[cap_types[k]])
+                  for k in hit_types.tolist()]),
+    ])
 
     lb = np.zeros(n_vars)
     ub = np.ones(n_vars)
-    for row_job, col in problem.forced.items():
-        lb[pair_index[(row_job, col)]] = 1.0
+    if problem.forced:
+        pair_index = {(int(i), int(j)): idx for idx, (i, j)
+                      in enumerate(zip(pair_jobs, pair_cols))}
+        for row_job, col in problem.forced.items():
+            lb[pair_index[(row_job, col)]] = 1.0
 
-    constraints = LinearConstraint(np.vstack(rows), -np.inf, np.array(uppers))
+    constraints = LinearConstraint(a_matrix, -np.inf, uppers)
     options = {"time_limit": time_limit} if time_limit is not None else None
     result = milp(c=cost, constraints=constraints,
                   integrality=np.ones(n_vars),
@@ -184,10 +202,8 @@ def _solve_milp(problem: AssignmentProblem,
     if result.status not in (0, 1) or result.x is None:
         raise RuntimeError(f"MILP failed: {result.message}")
     assignment: dict[int, int] = {}
-    for idx, value in enumerate(result.x):
-        if value > 0.5:
-            i, j = pairs[idx]
-            assignment[i] = j
+    for idx in np.flatnonzero(result.x > 0.5):
+        assignment[int(pair_jobs[idx])] = int(pair_cols[idx])
     objective = float(sum(problem.utilities[i, j]
                           for i, j in assignment.items()))
     return AssignmentSolution(assignment, objective, 0.0)

@@ -37,11 +37,15 @@ def build_goodput_matrix(goodputs: list[dict[int, float]],
     """
     matrix = np.full((len(goodputs), n_configs), math.nan)
     for i, row in enumerate(goodputs):
-        for j, value in row.items():
-            if not 0 <= j < n_configs:
-                raise IndexError(f"config index {j} out of range")
-            if value > 0 and math.isfinite(value):
-                matrix[i, j] = value
+        if not row:
+            continue
+        idx = np.fromiter(row.keys(), dtype=np.int64, count=len(row))
+        values = np.fromiter(row.values(), dtype=float, count=len(row))
+        if idx.size and (idx.min() < 0 or idx.max() >= n_configs):
+            bad = idx[(idx < 0) | (idx >= n_configs)][0]
+            raise IndexError(f"config index {bad} out of range")
+        keep = (values > 0) & np.isfinite(values)
+        matrix[i, idx[keep]] = values[keep]
     return matrix
 
 
@@ -49,16 +53,20 @@ def normalize_rows(matrix: np.ndarray, min_gpus: list[int]) -> np.ndarray:
     """Row-min normalization: ``G_ij <- N_i_min * G_ij / min_j G_ij``."""
     if matrix.shape[0] != len(min_gpus):
         raise ValueError("min_gpus length must match the number of rows")
-    out = matrix.copy()
-    for i in range(out.shape[0]):
-        row = out[i]
-        finite = row[~np.isnan(row)]
-        if finite.size == 0:
-            continue
-        row_min = float(finite.min())
-        if row_min <= 0:
-            raise ValueError(f"row {i} has non-positive goodput {row_min}")
-        out[i] = min_gpus[i] * row / row_min
+    if matrix.size == 0:
+        return matrix.copy()
+    # Row minima over feasible entries only; empty rows stay untouched.
+    lifted = np.where(np.isnan(matrix), np.inf, matrix)
+    row_min = lifted.min(axis=1)
+    has_feasible = np.isfinite(row_min)
+    if np.any(has_feasible & (row_min <= 0)):
+        i = int(np.flatnonzero(has_feasible & (row_min <= 0))[0])
+        raise ValueError(f"row {i} has non-positive goodput {row_min[i]}")
+    scale_num = np.asarray(min_gpus, dtype=float)[:, None]
+    divisor = np.where(has_feasible, row_min, 1.0)[:, None]
+    # Same elementwise op order as the scalar loop: (min_gpus * G) / row_min.
+    out = np.where(has_feasible[:, None],
+                   scale_num * matrix / divisor, matrix)
     return out
 
 
@@ -88,14 +96,18 @@ def apply_restart_discount(matrix: np.ndarray,
     if len(current_config_index) != n_rows or len(factors) != n_rows:
         raise ValueError("per-job inputs must match the number of rows")
     out = matrix.copy()
-    for i in range(n_rows):
-        current = current_config_index[i]
-        if current is None:
-            continue  # queued jobs start fresh; no restart is involved
-        factor = factors[i]
-        for j in range(out.shape[1]):
-            if j != current and not math.isnan(out[i, j]):
-                out[i, j] *= factor
+    if out.size == 0:
+        return out
+    # Queued jobs (current is None) start fresh; no restart is involved.
+    running = np.fromiter((c is not None for c in current_config_index),
+                          dtype=bool, count=n_rows)
+    current = np.fromiter((c if c is not None else -1
+                           for c in current_config_index),
+                          dtype=np.int64, count=n_rows)
+    cols = np.arange(out.shape[1])
+    mask = running[:, None] & (cols[None, :] != current[:, None])
+    factor_col = np.asarray(factors, dtype=float)[:, None]
+    out = np.where(mask, out * factor_col, out)
     return out
 
 
@@ -113,27 +125,40 @@ def shape_utilities(matrix: np.ndarray, *, p: float,
     out = np.full_like(matrix, math.nan)
     feasible = ~np.isnan(matrix)
     values = matrix[feasible]
-    if values.size and values.min() <= 0:
-        # A zero restart factor can zero out entries; drop them (a restart
-        # with no projected useful time is never worth taking).
-        pass
+    # A zero restart factor can zero out entries; drop them before powering
+    # (a restart with no projected useful time is never worth taking, and
+    # 0^p explodes for p < 0).
+    values = np.where(values > 0, values, math.nan)
     with np.errstate(divide="ignore", invalid="ignore"):
         if p > 0:
             shaped = allocation_incentive + np.power(values, p)
         elif p < 0:
             shaped = allocation_incentive - np.power(values, p)
         else:
-            shaped = np.full_like(values, allocation_incentive + 1.0)
+            shaped = np.where(np.isnan(values), math.nan,
+                              allocation_incentive + 1.0)
     shaped = np.where(np.isfinite(shaped), shaped, math.nan)
     out[feasible] = shaped
     return out
 
 
+def config_index_map(configs: list[Configuration]) -> dict[Configuration, int]:
+    """One ``{Configuration: index}`` lookup table for a round's config list.
+
+    Built once per round and shared by every per-job lookup; replaces the
+    O(n_configs) ``list.index`` scans the policy used to issue per job.
+    """
+    return {config: j for j, config in enumerate(configs)}
+
+
 def config_index(configs: list[Configuration],
-                 config: Configuration | None) -> int | None:
+                 config: Configuration | None,
+                 index_map: dict[Configuration, int] | None = None) -> int | None:
     """Index of ``config`` in the round's configuration list, if present."""
     if config is None:
         return None
+    if index_map is not None:
+        return index_map.get(config)
     try:
         return configs.index(config)
     except ValueError:

@@ -47,6 +47,11 @@ class SiaPolicyParams:
     solver: str = "milp"
     #: disable the restart factor (ablation).
     use_restart_factor: bool = True
+    #: evaluate each job's utility row through the estimator's batched
+    #: ``goodput_batch`` entry point when available (one vectorized pass per
+    #: row) instead of a per-configuration scalar loop.  Both paths produce
+    #: identical decisions; the flag exists for A/B benchmarking.
+    vectorized: bool = True
     #: when set, route the ILP through a ResilientSolver (budget + fallback
     #: chain + circuit breaker); None keeps the direct solver call.
     resilience: "ResilienceConfig | None" = None
@@ -61,24 +66,41 @@ class SiaPolicy:
 
     def __init__(self, params: SiaPolicyParams | None = None):
         self.params = params or SiaPolicyParams()
-        self._config_cache: tuple[int, list[Configuration]] | None = None
+        self._config_cache: dict[tuple, list[Configuration]] = {}
         self.resilient_solver = None
         if self.params.resilience is not None:
             from repro.core.resilience import ResilientSolver
             self.resilient_solver = ResilientSolver(self.params.resilience)
 
+    @staticmethod
+    def _cluster_signature(cluster: Cluster) -> tuple:
+        """A cheap structural key for the configuration-set cache.
+
+        Covers everything :func:`build_config_set` reads — GPU-type
+        appearance order and each node's (type, size) — so two distinct
+        ``Cluster`` objects with identical structure share cached
+        configurations, and a *mutated-in-place* or rebuilt cluster never
+        reuses a stale set (``id()`` keying guaranteed neither).
+        """
+        return tuple((n.gpu_type, n.num_gpus) for n in cluster.nodes)
+
     def configurations(self, cluster: Cluster,
                        max_gpus: int | None = None) -> list[Configuration]:
-        """The valid configuration set, cached per cluster identity."""
-        key = (id(cluster), max_gpus)
-        if self._config_cache is not None and self._config_cache[0] == key:
-            return self._config_cache[1]
+        """The valid configuration set, cached per cluster structure."""
+        key = (self._cluster_signature(cluster), max_gpus)
+        cached = self._config_cache.get(key)
+        if cached is not None:
+            return cached
         configs = build_config_set(cluster, max_gpus=max_gpus)
-        self._config_cache = (key, configs)
+        if len(self._config_cache) >= 32:  # bound growth on elastic clusters
+            self._config_cache.clear()
+        self._config_cache[key] = configs
         return configs
 
     def feasible_configs(self, view: "JobView",
-                         configs: list[Configuration]) -> list[int]:
+                         configs: list[Configuration],
+                         index_map: dict[Configuration, int] | None = None,
+                         ) -> list[int]:
         """Indices of configurations the job may use this round."""
         job = view.job
         allowed_types = job.allowed_gpu_types
@@ -99,9 +121,12 @@ class SiaPolicy:
                 continue
             out.append(j)
         # A running job may always keep its configuration.
-        if current is not None and current in configs:
-            idx = configs.index(current)
-            if idx not in out:
+        if current is not None:
+            if index_map is not None:
+                idx = index_map.get(current)
+            else:
+                idx = configs.index(current) if current in configs else None
+            if idx is not None and idx not in out:
                 out.append(idx)
         return out
 
@@ -138,22 +163,35 @@ class SiaPolicy:
             max_gpus = max(v.job.effective_max_gpus for v in views)
             configs = self.configurations(cluster, max_gpus=max_gpus)
             n_configs = len(configs)
+            # One index map per round; every per-job lookup below is O(1).
+            config_pos = gm.config_index_map(configs)
 
         with tracer.span("goodput_eval", jobs=len(views), configs=n_configs):
+            use_batch = self.params.vectorized
             goodputs: list[dict[int, float]] = []
             for view in views:
+                feasible = self.feasible_configs(view, configs, config_pos)
                 row: dict[int, float] = {}
-                for j in self.feasible_configs(view, configs):
-                    value = view.estimator.goodput(configs[j])
-                    if value > 0:
-                        row[j] = value
+                batch = getattr(view.estimator, "goodput_batch", None) \
+                    if use_batch else None
+                if batch is not None:
+                    values = batch([configs[j] for j in feasible])
+                    for j, value in zip(feasible, values):
+                        if value > 0:
+                            row[j] = float(value)
+                else:
+                    for j in feasible:
+                        value = view.estimator.goodput(configs[j])
+                        if value > 0:
+                            row[j] = value
                 goodputs.append(row)
 
             raw = gm.build_goodput_matrix(goodputs, n_configs)
             min_gpus = [v.job.effective_min_gpus for v in views]
             normalized = gm.normalize_rows(raw, min_gpus)
 
-            current_idx = [gm.config_index(configs, v.current_config)
+            current_idx = [gm.config_index(configs, v.current_config,
+                                           config_pos)
                            for v in views]
             if self.params.use_restart_factor:
                 factors = [gm.restart_factor(v.age, v.num_restarts,

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.types import Configuration
 from repro.perf import profiles
 from repro.perf.efficiency import EfficiencyModel
@@ -154,6 +156,15 @@ class HybridPerfEstimator:
         xput = self.perf.throughput(config.gpu_type, replicas,
                                     config.num_nodes)
         return xput * self._efficiency.efficiency(total_bsz)
+
+    def goodput_batch(self, configs: list[Configuration]):
+        """Batched :meth:`goodput`.  The hybrid model is closed-form and
+        cheap, so this is a convenience loop that keeps the policy's batched
+        row-fill path uniform across estimator kinds."""
+        out = np.empty(len(configs))
+        for i, config in enumerate(configs):
+            out[i] = self.goodput(config)
+        return out
 
     def best_plan(self, config: Configuration):
         """Hybrid jobs have a fixed micro-batch plan; return None to signal

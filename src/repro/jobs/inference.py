@@ -16,6 +16,8 @@ implemented here:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.types import Configuration, ProfilingMode
 from repro.perf import profiles
 from repro.perf.efficiency import ConstantEfficiency
@@ -92,6 +94,15 @@ class LatencySLOEstimator:
         if config.num_nodes != 1:
             return 0.0
         return 1.0 if self.meets_slo(config.gpu_type) else 0.0
+
+    def goodput_batch(self, configs: list[Configuration]) -> np.ndarray:
+        """Batched :meth:`goodput`: the SLO check is per GPU type, so one
+        pass over the (few) types covers any number of configurations."""
+        slo_ok = {t: self.meets_slo(t)
+                  for t in {c.gpu_type for c in configs}}
+        return np.fromiter(
+            (1.0 if c.num_nodes == 1 and slo_ok[c.gpu_type] else 0.0
+             for c in configs), dtype=float, count=len(configs))
 
     def best_plan(self, config: Configuration):
         """Latency serving has no batch-size decision."""

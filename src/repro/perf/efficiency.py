@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass
 class EfficiencyParams:
@@ -52,6 +54,15 @@ class EfficiencyModel:
         return (p.grad_noise_scale + p.init_batch_size) / (
             p.grad_noise_scale + total_batch_size)
 
+    def efficiency_batch(self, total_batch_sizes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`efficiency` over an array of total batch sizes."""
+        totals = np.asarray(total_batch_sizes, dtype=float)
+        if totals.size and totals.min() <= 0:
+            raise ValueError("total_batch_size must be positive")
+        p = self.params
+        return (p.grad_noise_scale + p.init_batch_size) / (
+            p.grad_noise_scale + totals)
+
     def efficiency_is_constant(self) -> bool:
         """Whether efficiency is (effectively) batch-size independent."""
         return False
@@ -84,6 +95,12 @@ class ConstantEfficiency(EfficiencyModel):
         if total_batch_size <= 0:
             raise ValueError("total_batch_size must be positive")
         return 1.0
+
+    def efficiency_batch(self, total_batch_sizes: np.ndarray) -> np.ndarray:
+        totals = np.asarray(total_batch_sizes, dtype=float)
+        if totals.size and totals.min() <= 0:
+            raise ValueError("total_batch_size must be positive")
+        return np.ones_like(totals)
 
     def efficiency_is_constant(self) -> bool:
         return True

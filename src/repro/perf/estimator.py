@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.bootstrap import bootstrap_throughput, pick_reference_type
 from repro.core.types import Configuration, ProfilingMode
 from repro.perf import profiles
@@ -41,6 +43,11 @@ _PRIOR_PARAMS = ThroughputParams(alpha_c=0.05, beta_c=0.01,
 #: Batch sizes profiled per GPU type during bootstrap (Section 3.2 profiles
 #: "typically 10 batchsizes per GPU type").
 PROFILE_POINTS_PER_TYPE = 10
+
+#: Process-wide default for new estimators: evaluate batch-plan grids with
+#: the vectorized pipeline (True) or the legacy scalar loop (False).  The
+#: perf benchmarks and equivalence tests flip this to compare both paths.
+DEFAULT_VECTORIZED = True
 
 
 @dataclass
@@ -62,6 +69,9 @@ class _TypeState:
     observations: list[Observation] = field(default_factory=list)
     fit: FitResult | None = None
     dirty: bool = False
+    #: bumped on every new observation for this type; cache entries that
+    #: depended only on this type's fit revalidate against it.
+    epoch: int = 0
 
 
 class JobPerfEstimator:
@@ -69,19 +79,31 @@ class JobPerfEstimator:
 
     def __init__(self, model_name: str, constraints: JobConstraints,
                  gpu_types: tuple[str, ...],
-                 mode: ProfilingMode = ProfilingMode.BOOTSTRAP):
+                 mode: ProfilingMode = ProfilingMode.BOOTSTRAP,
+                 *, vectorized: bool | None = None):
         self.model_name = model_name
         self.constraints = constraints
         self.gpu_types = gpu_types
         self.mode = mode
+        self.vectorized = DEFAULT_VECTORIZED if vectorized is None \
+            else vectorized
         self._types: dict[str, _TypeState] = {t: _TypeState() for t in gpu_types}
         self.profiling_gpu_seconds = 0.0
         self._efficiency = self._initial_efficiency()
-        #: memoized goodput-per-configuration results; cleared whenever the
-        #: estimator learns something new.  Schedulers query the same
-        #: configurations every round, so this takes per-round policy cost
-        #: from O(jobs x configs) model optimizations to O(changed jobs).
-        self._goodput_cache: dict[Configuration, BatchPlan | None] = {}
+        #: memoized goodput-per-configuration results with the epoch token
+        #: they were computed under.  Invalidation is *per GPU type*: a new
+        #: observation on one type only stales entries whose dispatch read
+        #: that type's fit (or the cross-type bootstrap state), so running
+        #: jobs keep cache hits on every other type between rounds.
+        self._goodput_cache: dict[
+            Configuration, tuple[tuple, BatchPlan | None]] = {}
+        #: epoch counters backing cache validation: one per GPU type (in
+        #: ``_TypeState``), one global observation epoch (cross-type
+        #: bootstrap estimates read *all* types), one efficiency epoch.
+        self._obs_epoch = 0
+        self._eff_epoch = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- initialization ----------------------------------------------------
 
@@ -134,7 +156,11 @@ class JobPerfEstimator:
         state = self._types[obs.gpu_type]
         state.observations.append(obs)
         state.dirty = True
-        self._goodput_cache.clear()
+        # Per-type invalidation: only entries whose cache token referenced
+        # this type's epoch (or the global epoch, for bootstrapped
+        # estimates) fail revalidation; everything else stays warm.
+        state.epoch += 1
+        self._obs_epoch += 1
 
     def update_gradient_stats(self, observed_noise_scale: float) -> None:
         """Fold a reported gradient-noise-scale measurement into the
@@ -143,7 +169,7 @@ class JobPerfEstimator:
         if abs(observed_noise_scale - current) <= 1e-9 * max(current, 1.0):
             return  # already converged; keep memoized goodputs valid
         self._efficiency.update_noise_scale(observed_noise_scale)
-        self._goodput_cache.clear()
+        self._eff_epoch += 1
 
     def _fit(self, gpu_type: str) -> FitResult | None:
         state = self._types[gpu_type]
@@ -212,6 +238,44 @@ class JobPerfEstimator:
         return ThroughputModel(_PRIOR_PARAMS).throughput(
             local_bsz, num_gpus, num_nodes, accum_steps)
 
+    def throughput_batch(self, gpu_type: str, local_bsz: np.ndarray,
+                         num_gpus: int, num_nodes: int,
+                         accum_steps: np.ndarray | int = 1) -> np.ndarray:
+        """Vectorized :meth:`throughput`: one dispatch decision per
+        (type, shape), then a single batched model evaluation over the
+        whole (local_bsz, accum_steps) grid.
+
+        The dispatch branch taken is identical to the scalar path because
+        none of the routing conditions depend on the batch plan; only the
+        Equation (1) reference-type choice can vary per grid point, and
+        the bootstrap branch replicates that selection elementwise.
+        """
+        local = np.asarray(local_bsz, dtype=np.int64)
+        if self.mode is ProfilingMode.ORACLE:
+            true_model = ThroughputModel(
+                profiles.true_throughput_params(self.model_name, gpu_type))
+            return true_model.throughput_batch(local, num_gpus, num_nodes,
+                                               accum_steps)
+
+        fit = self._fit(gpu_type)
+        if fit is not None and (num_gpus == 1 or fit.has_multi_gpu):
+            return ThroughputModel(fit.params).throughput_batch(
+                local, num_gpus, num_nodes, accum_steps)
+
+        if fit is not None and fit.has_single_gpu:
+            estimate = self._bootstrap_multi_gpu_batch(
+                gpu_type, local, num_gpus, num_nodes, accum_steps)
+            if estimate is not None:
+                return estimate
+            # Perfect-scaling assumption: N x the single-replica rate at
+            # accumulation 1 (matching the scalar path exactly).
+            singles = ThroughputModel(fit.params).throughput_batch(
+                local, 1, 1, 1)
+            return singles * num_gpus
+
+        return ThroughputModel(_PRIOR_PARAMS).throughput_batch(
+            local, num_gpus, num_nodes, accum_steps)
+
     def _bootstrap_multi_gpu(self, gpu_type: str, local_bsz: int,
                              num_gpus: int, num_nodes: int,
                              accum_steps: int) -> float | None:
@@ -232,27 +296,110 @@ class JobPerfEstimator:
         return bootstrap_throughput(singles[gpu_type], singles[reference],
                                     ref_multi)
 
+    def _bootstrap_multi_gpu_batch(self, gpu_type: str, local: np.ndarray,
+                                   num_gpus: int, num_nodes: int,
+                                   accum_steps: np.ndarray | int,
+                                   ) -> np.ndarray | None:
+        """Vectorized Equation (1): per grid point, rescale the fastest
+        multi-GPU-experienced reference type (the scalar path's
+        ``pick_reference_type`` argmax, applied elementwise)."""
+        singles: dict[str, np.ndarray] = {}
+        for t in self.gpu_types:
+            fit_t = self._fit(t)
+            if fit_t is not None and fit_t.has_single_gpu:
+                singles[t] = ThroughputModel(fit_t.params).throughput_batch(
+                    local, 1, 1, 1)
+        experienced = [t for t in self.gpu_types
+                       if self.has_multi_gpu_experience(t) and t in singles]
+        if not experienced or gpu_type not in singles:
+            return None
+        # Reference selection mirrors pick_reference_type: the experienced
+        # type with the largest 1-GPU throughput, first listed winning ties.
+        stacked = np.stack([singles[t] for t in experienced])
+        masked = np.where(stacked > 0, stacked, -np.inf)
+        ref_idx = np.argmax(masked, axis=0)
+        points = np.arange(local.shape[0])
+        ref_single = stacked[ref_idx, points]
+        multis = np.stack([
+            ThroughputModel(self._fit(t).params).throughput_batch(
+                local, num_gpus, num_nodes, accum_steps)
+            for t in experienced])
+        ref_multi = multis[ref_idx, points]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            estimate = singles[gpu_type] / ref_single * ref_multi
+        # Points where no experienced type has positive 1-GPU throughput
+        # fall back to perfect scaling, exactly like the scalar dispatch.
+        fallback = singles[gpu_type] * num_gpus
+        return np.where(np.isfinite(ref_single) & (ref_single > 0),
+                        estimate, fallback)
+
     # -- goodput -------------------------------------------------------------
+
+    def _cache_token(self, gpu_type: str, num_gpus: int) -> tuple:
+        """The epochs a cached plan for (type, shape) depends on.
+
+        A cached entry is valid while its token matches the current one:
+
+        * Oracle estimates read only the (immutable) ground truth, so they
+          revalidate on the efficiency epoch alone;
+        * trusted fits read one type's observations, so a new observation
+          on another GPU type leaves them warm (the per-type invalidation
+          this cache exists for);
+        * bootstrapped / perfect-scaling estimates read *all* types (the
+          Equation (1) reference can change with any observation), so they
+          key on the global observation epoch.
+        """
+        if self.mode is ProfilingMode.ORACLE:
+            return ("oracle", self._eff_epoch)
+        state = self._types[gpu_type]
+        fit = self._fit(gpu_type)
+        if fit is None:
+            return ("prior", gpu_type, state.epoch, self._eff_epoch)
+        if num_gpus == 1 or fit.has_multi_gpu:
+            return ("fit", gpu_type, state.epoch, self._eff_epoch)
+        return ("boot", self._obs_epoch, self._eff_epoch)
 
     def goodput(self, config: Configuration) -> float:
         """Best achievable goodput for a configuration (0 if infeasible)."""
         plan = self.best_plan(config)
         return plan.goodput if plan is not None else 0.0
 
+    def goodput_batch(self, configs: list[Configuration]) -> np.ndarray:
+        """Goodput for every configuration in one call — fills a whole
+        utility row of the policy's matrix at once.  Each cache miss costs
+        one batched grid evaluation instead of ~hundreds of scalar model
+        calls; hits cost one dict probe."""
+        out = np.empty(len(configs))
+        for i, config in enumerate(configs):
+            plan = self.best_plan(config)
+            out[i] = plan.goodput if plan is not None else 0.0
+        return out
+
     def best_plan(self, config: Configuration) -> BatchPlan | None:
         """Optimized batch plan for a configuration under the job's limits."""
-        if config in self._goodput_cache:
-            return self._goodput_cache[config]
+        token = self._cache_token(config.gpu_type, config.num_gpus)
+        cached = self._goodput_cache.get(config)
+        if cached is not None and cached[0] == token:
+            self.cache_hits += 1
+            return cached[1]
+        self.cache_misses += 1
         plan = self._best_plan_uncached(config)
-        self._goodput_cache[config] = plan
+        self._goodput_cache[config] = (token, plan)
         return plan
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of goodput queries answered from the per-type cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def _best_plan_uncached(self, config: Configuration) -> BatchPlan | None:
         cap = self.max_local_bsz(config.gpu_type)
         if cap < 1:
             return None
         adapter = _ThroughputAdapter(self, config.gpu_type)
-        model = GoodputModel(adapter, self._efficiency)
+        model = GoodputModel(adapter, self._efficiency,
+                             vectorized=self.vectorized)
         return model.optimize_batch_size(
             config.num_gpus, config.num_nodes,
             max_local_bsz=cap,
@@ -277,3 +424,9 @@ class _ThroughputAdapter:
                    accum_steps: int = 1) -> float:
         return self._estimator.throughput(
             self._gpu_type, int(local_bsz), num_gpus, num_nodes, accum_steps)
+
+    def throughput_batch(self, local_bsz: np.ndarray, num_gpus: int,
+                         num_nodes: int,
+                         accum_steps: np.ndarray | int = 1) -> np.ndarray:
+        return self._estimator.throughput_batch(
+            self._gpu_type, local_bsz, num_gpus, num_nodes, accum_steps)

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 #: Overlap exponent; larger means less compute/communication overlap.
 GAMMA: float = 1.6
 
@@ -99,6 +101,41 @@ class ThroughputModel:
         """Samples processed per second for the given execution plan."""
         total = num_gpus * local_bsz * accum_steps
         return total / self.iter_time(local_bsz, num_gpus, num_nodes, accum_steps)
+
+    # -- vectorized entry points ------------------------------------------
+
+    def iter_time_batch(self, local_bsz: np.ndarray, num_gpus: int,
+                        num_nodes: int,
+                        accum_steps: np.ndarray | int = 1) -> np.ndarray:
+        """Vectorized :meth:`iter_time` over arrays of (local_bsz, accum).
+
+        The allocation shape ``(num_gpus, num_nodes)`` is fixed — the sync
+        phase is one scalar — while per-GPU batch size and accumulation
+        steps vary elementwise.  One call evaluates a whole candidate grid,
+        which is what keeps the per-round goodput pass off the scalar
+        Python path.
+        """
+        local = np.asarray(local_bsz, dtype=float)
+        accum = np.asarray(accum_steps, dtype=float)
+        if local.size and local.min() <= 0:
+            raise ValueError("local_bsz must be positive")
+        if accum.size and accum.min() < 1:
+            raise ValueError("accum_steps must be >= 1")
+        p = self.params
+        t_grad = p.alpha_c + p.beta_c * local
+        t_sync = self.sync_time(num_nodes, num_gpus)
+        g = p.gamma
+        overlapped = (t_grad ** g + t_sync ** g) ** (1.0 / g)
+        return (accum - 1) * t_grad + overlapped
+
+    def throughput_batch(self, local_bsz: np.ndarray, num_gpus: int,
+                         num_nodes: int,
+                         accum_steps: np.ndarray | int = 1) -> np.ndarray:
+        """Vectorized :meth:`throughput` over arrays of (local_bsz, accum)."""
+        local = np.asarray(local_bsz, dtype=float)
+        accum = np.asarray(accum_steps, dtype=float)
+        total = num_gpus * local * accum
+        return total / self.iter_time_batch(local, num_gpus, num_nodes, accum)
 
 
 def perfect_scaling_estimate(single_gpu_throughput: float, num_gpus: int) -> float:

@@ -63,12 +63,20 @@ class GavelScheduler(Scheduler):
         types = cluster.gpu_types
         matrix = np.zeros((len(views), len(types)))
         for i, view in enumerate(views):
+            cols: list[int] = []
+            cfgs: list[Configuration] = []
             for k, gpu_type in enumerate(types):
                 if counts[i] > cluster.capacity(gpu_type):
                     continue
                 nodes = max(1, -(-counts[i] // cluster.max_node_size(gpu_type)))
-                config = Configuration(nodes, counts[i], gpu_type)
-                matrix[i, k] = view.estimator.goodput(config)
+                cols.append(k)
+                cfgs.append(Configuration(nodes, counts[i], gpu_type))
+            batch = getattr(view.estimator, "goodput_batch", None)
+            if batch is not None:
+                matrix[i, cols] = batch(cfgs)
+            else:
+                for k, config in zip(cols, cfgs):
+                    matrix[i, k] = view.estimator.goodput(config)
         return matrix
 
     def _solve_lp(self, xput: np.ndarray, counts: list[int],

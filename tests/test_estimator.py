@@ -167,6 +167,86 @@ class TestGoodput:
         assert est.goodput(config) == before
 
 
+class TestIncrementalCacheInvalidation:
+    """Per-GPU-type cache invalidation: a new observation on one type must
+    not evict memoized plans whose estimates never read that type."""
+
+    def test_observation_keeps_other_types_warm(self):
+        est = make_estimator()
+        est.profile_initial()
+        t4 = Configuration(1, 1, "t4")
+        a100 = Configuration(1, 1, "a100")
+        rtx = Configuration(1, 1, "rtx")
+        for config in (t4, a100, rtx):
+            est.best_plan(config)  # populate
+        est.cache_hits = est.cache_misses = 0
+        est.add_observation(true_observation("bert", "rtx", 1, 2, 16))
+        # Single-GPU estimates on t4/a100 come from those types' own fits,
+        # whose epochs did not move: still cache hits.
+        before_t4, before_a100 = est.goodput(t4), est.goodput(a100)
+        assert est.cache_hits == 2 and est.cache_misses == 0
+        # The rtx entry saw its type epoch move: recomputed.
+        est.goodput(rtx)
+        assert est.cache_misses == 1
+        assert (before_t4, before_a100) == (est.goodput(t4),
+                                            est.goodput(a100))
+
+    def test_bootstrapped_entries_invalidated_by_any_observation(self):
+        """Multi-GPU estimates without own multi-GPU experience read *every*
+        type's observations (Equation 1 picks the reference type), so any
+        new observation must invalidate them."""
+        est = make_estimator()
+        est.profile_initial()
+        multi_t4 = Configuration(1, 4, "t4")
+        before = est.goodput(multi_t4)
+        est.cache_hits = est.cache_misses = 0
+        # rtx multi-GPU data arrives: t4's 4-GPU estimate now bootstraps
+        # from rtx instead of perfect scaling.
+        for k in (2, 4):
+            est.add_observation(true_observation("bert", "rtx", 1, k, 16))
+        after = est.goodput(multi_t4)
+        assert est.cache_misses == 1 and est.cache_hits == 0
+        assert after != before
+
+    def test_oracle_cache_survives_observations(self):
+        est = make_estimator(ProfilingMode.ORACLE)
+        config = Configuration(1, 4, "a100")
+        est.goodput(config)
+        est.cache_hits = est.cache_misses = 0
+        est.add_observation(true_observation("bert", "a100", 1, 4, 16))
+        est.goodput(config)
+        assert est.cache_hits == 1 and est.cache_misses == 0
+
+    def test_gradient_stats_change_invalidates_everything(self):
+        est = make_estimator(ProfilingMode.NO_PROF)
+        config = Configuration(1, 1, "t4")
+        est.goodput(config)
+        true_phi = profiles.true_efficiency_params("bert").grad_noise_scale
+        est.update_gradient_stats(true_phi * 3)
+        est.cache_hits = est.cache_misses = 0
+        est.goodput(config)
+        assert est.cache_misses == 1
+
+    def test_steady_state_hit_rate_positive(self):
+        """A running job re-evaluated across consecutive rounds with no new
+        evidence answers from cache: the acceptance criterion is a strictly
+        positive hit rate in steady state."""
+        est = make_estimator()
+        est.profile_initial()
+        configs = [Configuration(1, k, t) for t in TYPES for k in (1, 2, 4)]
+        for config in configs:  # round 1: cold
+            est.goodput(config)
+        est.cache_hits = est.cache_misses = 0
+        for _ in range(3):  # rounds 2-4: steady state
+            for config in configs:
+                est.goodput(config)
+            # converged noise-scale reports must not evict anything
+            est.update_gradient_stats(
+                est.efficiency_model.params.grad_noise_scale)
+        assert est.cache_misses == 0
+        assert est.cache_hit_rate == 1.0
+
+
 class TestMemoryKnowledge:
     def test_max_local_bsz_capped_by_job_max(self):
         profile = profiles.model_profile("resnet18")

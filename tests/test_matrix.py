@@ -8,8 +8,8 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.matrix import (apply_restart_discount, build_goodput_matrix,
-                               config_index, normalize_rows, restart_factor,
-                               shape_utilities)
+                               config_index, config_index_map, normalize_rows,
+                               restart_factor, shape_utilities)
 from repro.core.types import Configuration
 
 
@@ -159,6 +159,32 @@ class TestShaping:
         assert math.isnan(out[0, 0])
         assert math.isfinite(out[0, 1])
 
+    def test_zeroed_restart_row_drops_out_for_negative_p(self):
+        """Regression: a fully-zeroed row (restart factor 0 on a young job)
+        must shape to all-nan for p < 0, not to +inf/huge utilities that
+        would make the ILP chase a worthless restart."""
+        matrix = np.array([[4.0, 2.0]])
+        discounted = apply_restart_discount(matrix, [0], [0.0])
+        assert discounted[0, 1] == 0.0
+        out = shape_utilities(discounted, p=-0.5, allocation_incentive=1.1)
+        assert math.isfinite(out[0, 0])  # the kept (current) config survives
+        assert math.isnan(out[0, 1])
+
+    def test_zero_entry_dropped_for_positive_p(self):
+        """0^p is finite for p > 0, but a zero-goodput entry is still a
+        worthless allocation and must not win utility lambda + 0."""
+        matrix = np.array([[0.0, 2.0]])
+        out = shape_utilities(matrix, p=0.5, allocation_incentive=1.1)
+        assert math.isnan(out[0, 0])
+        assert math.isfinite(out[0, 1])
+
+    def test_zero_entry_dropped_for_p_zero(self):
+        matrix = np.array([[0.0, 2.0, math.nan]])
+        out = shape_utilities(matrix, p=0.0, allocation_incentive=1.1)
+        assert math.isnan(out[0, 0])
+        assert out[0, 1] == pytest.approx(2.1)
+        assert math.isnan(out[0, 2])
+
     def test_rejects_negative_incentive(self):
         with pytest.raises(ValueError):
             shape_utilities(np.ones((1, 1)), p=0.5, allocation_incentive=-1)
@@ -183,3 +209,12 @@ class TestConfigIndex:
     def test_missing(self):
         configs = [Configuration(1, 1, "t4")]
         assert config_index(configs, Configuration(1, 8, "a100")) is None
+
+    def test_index_map_agrees_with_list_index(self):
+        configs = [Configuration(1, 1, "t4"), Configuration(1, 2, "t4"),
+                   Configuration(1, 8, "a100")]
+        index_map = config_index_map(configs)
+        assert index_map == {c: j for j, c in enumerate(configs)}
+        for config in configs + [Configuration(2, 16, "rtx"), None]:
+            assert config_index(configs, config, index_map) == \
+                config_index(configs, config)
