@@ -1,0 +1,56 @@
+"""Atomic file writes shared by every persistence layer.
+
+Dependency-free on purpose: both :mod:`repro.io` (traces, results,
+ledgers) and :mod:`repro.sim.checkpoint` (engine checkpoints) write through
+these helpers, and putting them anywhere with heavier imports would create
+a cycle between the two.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *,
+                       crash_hook: Callable[[str], None] | None = None) -> None:
+    """Write ``data`` to ``path`` atomically (write-tmp-then-rename).
+
+    The bytes land in ``<path>.tmp`` first and are fsynced before an
+    ``os.replace`` over the destination, so readers only ever see the old
+    complete file or the new complete file — never a truncated mix.
+
+    ``crash_hook`` is a fault-injection point for the chaos harness: it is
+    called with a stage name (``pre_write``, ``mid_write``, ``pre_rename``,
+    ``post_rename``) and may raise to simulate a crash at that point.  A
+    crash before the rename leaves the destination untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    if crash_hook is not None:
+        crash_hook("pre_write")
+    try:
+        with open(tmp, "wb") as fh:
+            half = len(data) // 2
+            fh.write(data[:half])
+            if crash_hook is not None:
+                crash_hook("mid_write")
+            fh.write(data[half:])
+            fh.flush()
+            os.fsync(fh.fileno())
+        if crash_hook is not None:
+            crash_hook("pre_rename")
+        os.replace(tmp, path)
+    finally:
+        # A crash hook or write error may leave the partial tmp behind;
+        # it must never shadow a real artifact.
+        if tmp.exists():
+            tmp.unlink(missing_ok=True)
+    if crash_hook is not None:
+        crash_hook("post_rename")
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """UTF-8 text flavour of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))

@@ -10,6 +10,9 @@ Subcommands::
                             --schedulers sia,pollux,gavel
     python -m repro report results/*.json --out report.md
     python -m repro explain result.json --job philly-0017
+    python -m repro run ... --checkpoint-dir ckpts --checkpoint-every 25
+    python -m repro run ... --resume-from ckpts     # continue a killed run
+    python -m repro chaos --trace-name philly --num-jobs 12 --work-scale 0.05
 
 ``run`` and ``compare`` accept either a saved trace file (``--trace``) or
 generator parameters (``--trace-name``/``--seed``/...).  Results can be
@@ -38,9 +41,12 @@ from repro.schedulers import (FIFOScheduler, GavelScheduler, PolluxScheduler,
                               ShockwaveScheduler, SiaScheduler,
                               SRTFScheduler, ThemisScheduler)
 from repro.schedulers.base import Scheduler
+from repro.sim.chaos import run_chaos
+from repro.sim.checkpoint import CheckpointConfig
 from repro.sim.engine import Simulator, SimulatorConfig
 from repro.sim.faults import (CheckpointRestoreFaultModel, FaultModel,
                               JobCrashModel, StragglerModel)
+from repro.sim.invariants import MODES as INVARIANT_MODES
 from repro.workloads.generators import SPECS, trace_by_name
 from repro.workloads.trace import Trace
 from repro.workloads.tuning import tuned_jobs
@@ -114,6 +120,15 @@ def _wants_tracing(args: argparse.Namespace) -> bool:
                 or getattr(args, "metrics_digest", False))
 
 
+def _checkpoint_config(args: argparse.Namespace) -> CheckpointConfig | None:
+    directory = getattr(args, "checkpoint_dir", None)
+    if not directory:
+        return None
+    return CheckpointConfig(directory=directory,
+                            every_rounds=args.checkpoint_every,
+                            keep=args.checkpoint_keep)
+
+
 def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
               suffix: str = ""):
     cluster = presets.by_name(args.cluster)
@@ -128,8 +143,15 @@ def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
         node_failure_rate=args.failure_rate,
         fault_models=build_fault_models(args),
         resilient=getattr(args, "resilient", False),
-        tracer=tracer)
-    result = Simulator(cluster, scheduler, jobs, config).run()
+        tracer=tracer,
+        checkpoint=_checkpoint_config(args),
+        invariants=getattr(args, "invariants", "off"))
+    simulator = Simulator(cluster, scheduler, jobs, config)
+    result = simulator.run(resume_from=getattr(args, "resume_from", None))
+    violations = simulator.invariant_violations
+    if violations:
+        print(f"invariant violations: {len(violations)} "
+              f"(first: {violations[0].message})", file=sys.stderr)
     _export_observability(result, tracer, args, suffix)
     if getattr(args, "ledger_out", None):
         path = _suffixed(args.ledger_out, suffix)
@@ -171,7 +193,8 @@ def _print_robustness_summary(result) -> None:
     faults = result.fault_counts()
     degraded = result.degraded_rounds
     backends = {k or "?": v for k, v in result.backend_counts().items()}
-    if not faults and not degraded:
+    resilience = result.resilience_counts()
+    if not faults and not degraded and not resilience:
         return
     parts = []
     if faults:
@@ -180,6 +203,10 @@ def _print_robustness_summary(result) -> None:
     parts.append(f"degraded rounds: {degraded}/{len(result.rounds)}")
     parts.append("backends: " + ", ".join(
         f"{k}={v}" for k, v in sorted(backends.items())))
+    if resilience:
+        parts.append("resilience: " + ", ".join(
+            f"{k.removeprefix('resilience.')}={v}"
+            for k, v in sorted(resilience.items())))
     print("; ".join(parts))
 
 
@@ -249,6 +276,52 @@ def cmd_explain(args: argparse.Namespace) -> int:
         print(explain_job(result, args.job, round_index=args.round))
     except (KeyError, IndexError) as exc:
         raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Kill/resume equivalence experiment (see :mod:`repro.sim.chaos`)."""
+    import tempfile
+
+    trace = resolve_trace(args)
+    cluster = presets.by_name(args.cluster)
+    jobs = trace.jobs
+    if args.scheduler in RIGID_SCHEDULERS:
+        jobs = tuned_jobs(jobs, cluster, seed=trace.seed)
+
+    def factory(ckpt_cfg):
+        # A fresh scheduler per run: the three runs (reference, victim,
+        # survivor) must not share solver/estimator state.
+        scheduler = build_scheduler(args.scheduler, args)
+        config = SimulatorConfig(
+            profiling_mode=ProfilingMode(args.profiling_mode),
+            seed=args.seed, max_hours=args.max_hours,
+            node_failure_rate=args.failure_rate,
+            fault_models=build_fault_models(args),
+            resilient=getattr(args, "resilient", False),
+            checkpoint=ckpt_cfg,
+            invariants=args.invariants)
+        return Simulator(cluster, scheduler, jobs, config)
+
+    directory = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    print(f"chaos: scheduler={args.scheduler} trace={trace.name} "
+          f"kill_stage={args.kill_stage} checkpoints={directory}",
+          file=sys.stderr)
+    report = run_chaos(factory, directory=directory,
+                       kill_round=args.kill_round,
+                       kill_stage=args.kill_stage,
+                       chaos_seed=args.chaos_seed,
+                       every_rounds=args.checkpoint_every,
+                       keep=args.checkpoint_keep,
+                       corrupt_latest=args.corrupt_latest)
+    print(report.summary())
+    if not report.equivalent:
+        for line in report.mismatches[:20]:
+            print(f"  {line}", file=sys.stderr)
+        if len(report.mismatches) > 20:
+            print(f"  ... and {len(report.mismatches) - 20} more",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -323,6 +396,17 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
                         help="write the goodput ledger + allocation events "
                              "as JSONL here (compare mode appends the "
                              "scheduler name)")
+    parser.add_argument("--invariants", default="off",
+                        choices=list(INVARIANT_MODES),
+                        help="round-level invariant auditing: log records "
+                             "violations, strict aborts on the first")
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="write atomic engine checkpoints here")
+    parser.add_argument("--checkpoint-every", type=int, default=25,
+                        metavar="N", help="checkpoint every N rounds")
+    parser.add_argument("--checkpoint-keep", type=int, default=3,
+                        metavar="N",
+                        help="checkpoints retained on disk (0 = all)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -343,7 +427,33 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scheduler", default="sia")
     _add_trace_options(run)
     _add_sim_options(run)
+    run.add_argument("--resume-from", metavar="PATH",
+                     help="resume from a checkpoint file or directory "
+                          "(newest valid checkpoint; falls back past "
+                          "corrupted files)")
     run.set_defaults(func=cmd_run)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="kill a checkpointed run and prove the resume is equivalent")
+    chaos.add_argument("--scheduler", default="sia")
+    _add_trace_options(chaos)
+    _add_sim_options(chaos)
+    chaos.add_argument("--kill-round", type=int, default=None,
+                       help="round to crash at (default: seeded random)")
+    chaos.add_argument("--kill-stage", default="round_end",
+                       choices=["round_end", "pre_write", "mid_write",
+                                "pre_rename", "post_rename"],
+                       help="where the crash lands (write stages hit the "
+                            "checkpoint writer mid-flight)")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for the random kill round")
+    chaos.add_argument("--corrupt-latest", action="store_true",
+                       help="also corrupt the newest surviving checkpoint "
+                            "before resuming (exercises fallback)")
+    # Chaos runs are short; checkpoint often and keep everything so the
+    # corruption-fallback path always has older files to land on.
+    chaos.set_defaults(func=cmd_chaos, checkpoint_every=5, checkpoint_keep=0)
 
     compare = sub.add_parser("compare",
                              help="simulate several schedulers on one trace")

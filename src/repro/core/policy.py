@@ -63,6 +63,9 @@ class SiaPolicy:
     #: observability tracer (the SiaScheduler forwards the run's tracer so
     #: the policy's phase spans nest under the scheduler's plan span).
     tracer: Tracer = NULL_TRACER
+    #: shared metrics registry, forwarded to the resilient solver so its
+    #: breaker/backend counters reach the run's round snapshots.
+    metrics = None
 
     def __init__(self, params: SiaPolicyParams | None = None):
         self.params = params or SiaPolicyParams()
@@ -221,6 +224,7 @@ class SiaPolicy:
             )
             if self.resilient_solver is not None:
                 self.resilient_solver.tracer = tracer
+                self.resilient_solver.metrics = self.metrics
                 solution, backend, degraded = self.resilient_solver.solve(
                     problem, primary=self.params.solver)
             else:

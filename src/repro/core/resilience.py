@@ -30,6 +30,7 @@ from repro.cluster.cluster import Cluster
 from repro.core import ilp
 from repro.core.ilp import AssignmentProblem, AssignmentSolution
 from repro.core.types import Allocation
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.schedulers.base import JobView, RoundPlan, Scheduler
 
@@ -71,6 +72,10 @@ class ResilientSolver:
     #: observability tracer; emits one ``solve_attempt`` span per backend
     #: tried, annotated with its outcome (ok / timeout / error).
     tracer: Tracer = NULL_TRACER
+    #: shared metrics registry (injected by the owning policy/scheduler);
+    #: mirrors :attr:`stats` into ``resilience.*`` counters so breaker trips
+    #: and per-backend rounds reach round snapshots and saved results.
+    metrics: MetricsRegistry | None = None
 
     def __init__(self, config: ResilienceConfig | None = None):
         self.config = config or ResilienceConfig()
@@ -85,12 +90,16 @@ class ResilientSolver:
 
     def _count(self, backend: str) -> None:
         self.stats[backend] = self.stats.get(backend, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter(f"resilience.backend.{backend}").inc()
 
     def _record_failure(self) -> None:
         self._consecutive_failures += 1
         if self._consecutive_failures >= self.config.breaker_threshold:
             self._breaker_open_rounds = self.config.breaker_cooldown_rounds
             self.stats["breaker_trips"] += 1
+            if self.metrics is not None:
+                self.metrics.counter("resilience.breaker_trips").inc()
             self._consecutive_failures = 0
 
     def solve(self, problem: AssignmentProblem, primary: str = "milp",
@@ -203,6 +212,7 @@ class ResilientScheduler(Scheduler):
     def decide(self, views: list[JobView], cluster: Cluster,
                previous: dict[str, Allocation], now: float) -> RoundPlan:
         self.inner.tracer = self.tracer
+        self.inner.metrics = self.metrics
         try:
             plan = self.inner.decide(views, cluster, previous, now)
             plan.validate(cluster)
@@ -210,6 +220,8 @@ class ResilientScheduler(Scheduler):
         except Exception as exc:
             self.caught_failures += 1
             self.last_error = exc
+            if self.metrics is not None:
+                self.metrics.counter("resilience.caught_failures").inc()
             with self.tracer.span("carry_forward", scheduler=self.inner.name,
                                   error=type(exc).__name__):
                 return carry_forward_plan(previous, cluster, views)

@@ -3,6 +3,12 @@
 Traces round-trip exactly (including hybrid specs and inference metadata)
 so experiments can be pinned to files and re-run; results serialize the
 per-job and per-round records every metric is derived from.
+
+Every writer in this module goes through :func:`atomic_write_text` /
+:func:`atomic_write_bytes` — write to a temporary sibling, then
+``os.replace`` over the destination — so a crash mid-save never truncates
+an existing artifact.  The checkpoint subsystem
+(:mod:`repro.sim.checkpoint`) uses the same helper for its snapshots.
 """
 
 from __future__ import annotations
@@ -11,6 +17,8 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.atomicio import atomic_write_bytes as atomic_write_bytes
+from repro.atomicio import atomic_write_text as atomic_write_text
 from repro.core.types import AdaptivityMode
 from repro.jobs.hybrid import HybridSpec
 from repro.jobs.job import Job
@@ -22,6 +30,10 @@ from repro.workloads.trace import Trace
 
 FORMAT_VERSION = 1
 
+
+# The atomic-write helpers live in :mod:`repro.atomicio` (shared with the
+# checkpoint subsystem without an import cycle) and are re-exported above
+# so existing ``repro.io.atomic_write_*`` callers keep working.
 
 # -- traces ------------------------------------------------------------------
 
@@ -83,7 +95,7 @@ def save_trace(trace: Trace, path: str | Path) -> None:
         "seed": trace.seed,
         "jobs": [job_to_dict(job) for job in trace.jobs],
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_trace(path: str | Path) -> Trace:
@@ -170,7 +182,10 @@ def save_result(result: SimulationResult, path: str | Path, *,
     }
     if result.final_metrics:
         payload["final_metrics"] = dict(result.final_metrics)
-    Path(path).write_text(json.dumps(payload, indent=2))
+    counts = result.resilience_counts()
+    if counts:
+        payload["resilience_counts"] = counts
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_result(path: str | Path) -> SimulationResult:
@@ -241,7 +256,7 @@ def save_ledger(result: SimulationResult, path: str | Path) -> None:
         # nested rather than spread into the line.
         lines.append(json.dumps({"kind": "alloc_event",
                                  "event": event.to_dict()}))
-    Path(path).write_text("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def load_ledger(path: str | Path,

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.cluster.cluster import Cluster
 from repro.core.types import Allocation, Configuration
 from repro.jobs.job import Job
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, PLAN_PHASES, Tracer
 
 __all__ = ["JobView", "RoundPlan", "PlanTimer", "Scheduler", "PLAN_PHASES",
@@ -142,6 +143,11 @@ class Scheduler(abc.ABC):
     #: observability tracer; the simulator injects the run's tracer here.
     #: The NULL_TRACER default keeps standalone ``decide()`` calls no-op.
     tracer: Tracer = NULL_TRACER
+    #: shared metrics registry; the simulator injects the run's registry so
+    #: resilience layers (ResilientScheduler, ResilientSolver) fold their
+    #: counters into the per-round snapshots.  None keeps standalone
+    #: ``decide()`` calls metric-free.
+    metrics: MetricsRegistry | None = None
     #: seconds between scheduling rounds (60 for Sia/Pollux, 360 for the
     #: rigid baselines — Section 4.3).
     round_duration: float = 60.0

@@ -33,6 +33,7 @@ class SiaScheduler(Scheduler):
         # Placer runs under the placement span, all children of our plan
         # span.  solve_time covers the whole plan path (phases sum to it).
         self.policy.tracer = self.tracer
+        self.policy.metrics = self.metrics
         with self.planning(views) as timer:
             if self._placer is None or self._placer.cluster is not cluster:
                 self._placer = Placer(cluster)

@@ -1,10 +1,17 @@
 """Discrete-time trace-driven cluster simulator."""
 
+from repro.sim.chaos import ChaosReport, CrashAt, SimulatedCrash, run_chaos
+from repro.sim.checkpoint import (CheckpointConfig, CheckpointCorruptError,
+                                  CheckpointError, CheckpointState,
+                                  latest_valid_checkpoint, read_checkpoint,
+                                  write_checkpoint)
 from repro.sim.engine import Simulator, SimulatorConfig, simulate
 from repro.sim.executor import ExecutionModel, RoundExecution
 from repro.sim.faults import (CheckpointRestoreFaultModel, FaultContext,
                               FaultModel, JobCrashModel, NodeCrashModel,
                               StragglerModel)
+from repro.sim.invariants import (InvariantChecker, InvariantError,
+                                  InvariantViolation)
 from repro.sim.telemetry import (FaultEvent, JobRecord, RoundRecord,
                                  SimulationResult)
 
@@ -14,4 +21,9 @@ __all__ = [
     "FaultModel", "FaultContext", "NodeCrashModel", "StragglerModel",
     "JobCrashModel", "CheckpointRestoreFaultModel",
     "FaultEvent", "JobRecord", "RoundRecord", "SimulationResult",
+    "CheckpointConfig", "CheckpointState", "CheckpointError",
+    "CheckpointCorruptError", "write_checkpoint", "read_checkpoint",
+    "latest_valid_checkpoint",
+    "InvariantChecker", "InvariantError", "InvariantViolation",
+    "ChaosReport", "CrashAt", "SimulatedCrash", "run_chaos",
 ]

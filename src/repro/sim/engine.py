@@ -30,6 +30,7 @@ active at the cap are reported as censored.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.cluster.cluster import Cluster
 from repro.core.resilience import carry_forward_plan
@@ -40,8 +41,13 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.perf.goodput import BatchPlan
 from repro.schedulers.base import JobView, RoundPlan, Scheduler
+from repro.sim import checkpoint as ckpt
+from repro.sim.checkpoint import (CheckpointConfig, CheckpointError,
+                                  CheckpointState)
 from repro.sim.executor import ExecutionModel, RoundExecution
 from repro.sim.faults import FaultContext, FaultModel, NodeCrashModel
+from repro.sim.invariants import MODES as INVARIANT_MODES
+from repro.sim.invariants import InvariantChecker
 from repro.sim.telemetry import JobRecord, RoundRecord, SimulationResult
 
 
@@ -79,6 +85,21 @@ class SimulatorConfig:
     #: metrics registry snapshotted into every RoundRecord; a fresh one is
     #: created when None (pass your own to aggregate across runs).
     metrics: MetricsRegistry | None = None
+    #: crash-safety: when set, the engine writes an atomic, checksummed
+    #: checkpoint of its complete state every ``checkpoint.every_rounds``
+    #: rounds; ``Simulator.run(resume_from=...)`` continues from one
+    #: bit-identically (see :mod:`repro.sim.checkpoint`).
+    checkpoint: CheckpointConfig | None = None
+    #: round-level invariant auditing (:mod:`repro.sim.invariants`):
+    #: 'off' (default), 'log' (record violations, keep running), or
+    #: 'strict' (raise InvariantError on the first violation).
+    invariants: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.invariants not in INVARIANT_MODES:
+            raise ValueError(
+                f"invariants must be one of {INVARIANT_MODES}, "
+                f"got {self.invariants!r}")
 
 
 @dataclass
@@ -142,6 +163,7 @@ class Simulator:
         self.tracer = self.config.tracer or NULL_TRACER
         self.metrics = self.config.metrics or MetricsRegistry()
         self.scheduler.tracer = self.tracer
+        self.scheduler.metrics = self.metrics
         self._execution.tracer = self.tracer
         # Fault subsystem: legacy node_failure_rate becomes a NodeCrashModel
         # seeded exactly as the old inline sampler (seed + 1) so existing
@@ -157,33 +179,84 @@ class Simulator:
                 else self.config.seed + 1009 + 31 * idx
             model.bind(seed)  # re-seeding also resets state for reuse
             self._fault_models.append(model)
-        #: per-round map job id -> straggler speed factor (<= 1.0).
+        #: per-round map job id -> straggler speed factor (<= 1.0).  Reset
+        #: at the top of every round's fault pass, so it never needs to be
+        #: checkpointed.
         self._round_speed: dict[str, float] = {}
         self.total_failures = 0
         #: rounds rescued by the simulator's carry-forward guard.
         self.caught_scheduler_failures = 0
+        #: round-level invariant auditor (None when invariants == 'off').
+        self._invariants: InvariantChecker | None = None
+        if self.config.invariants != "off":
+            self._invariants = InvariantChecker(mode=self.config.invariants)
+        self._bind_observability()
+        # Mutable loop state, held on the instance so checkpoints can
+        # capture it and a restore can continue mid-run.
+        self._active: dict[str, _JobRuntime] = {}
+        self._finished: list[_JobRuntime] = []
+        self._arrival_idx = 0
+        self._now = 0.0
+        self._result: SimulationResult | None = None
+
+    def _bind_observability(self) -> None:
+        """(Re-)inject the live tracer/metrics into every engine layer.
+
+        Called at construction and again after a checkpoint restore —
+        checkpoints strip tracers (host wall-clock state) and the restored
+        scheduler/checker must see this process's sinks, not the ones from
+        the crashed run.
+        """
+        self.scheduler.tracer = self.tracer
+        self.scheduler.metrics = self.metrics
+        self._execution.tracer = self.tracer
+        if self._invariants is not None:
+            self._invariants.tracer = self.tracer
+            self._invariants.metrics = self.metrics
 
     # -- main loop -------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        result = SimulationResult(scheduler_name=self.scheduler.name,
-                                  cluster_description=self.cluster.describe())
-        active: dict[str, _JobRuntime] = {}
-        finished: list[_JobRuntime] = []
-        arrival_idx = 0
-        now = 0.0
+    def run(self, resume_from: str | Path | CheckpointState | None = None,
+            ) -> SimulationResult:
+        """Run the simulation to completion.
+
+        ``resume_from`` continues a previous run from a checkpoint instead
+        of starting fresh: pass a checkpoint file path, a checkpoint
+        *directory* (the newest valid checkpoint is used, falling back past
+        corrupted files), or an in-memory :class:`CheckpointState`.  The
+        restored state replaces this simulator's scheduler, fault models,
+        execution model, and metrics registry wholesale, and the continued
+        run is bit-identical to the uninterrupted one (wall-clock-derived
+        telemetry — ``solve_time`` and timing metrics — excepted).
+        """
+        if resume_from is not None:
+            self._restore(resume_from)
+        else:
+            self._active = {}
+            self._finished = []
+            self._arrival_idx = 0
+            self._now = 0.0
+            self._result = SimulationResult(
+                scheduler_name=self.scheduler.name,
+                cluster_description=self.cluster.describe())
+        result = self._result
+        assert result is not None
         dt = self.scheduler.round_duration
         cap = self.config.max_hours * 3600.0
+        active = self._active
 
-        while (arrival_idx < len(self._arrivals) or active) and now < cap:
+        while (self._arrival_idx < len(self._arrivals) or active) \
+                and self._now < cap:
             # 1. admissions
-            if (arrival_idx < len(self._arrivals)
-                    and self._arrivals[arrival_idx].submit_time <= now):
+            if (self._arrival_idx < len(self._arrivals)
+                    and self._arrivals[self._arrival_idx].submit_time
+                    <= self._now):
                 with self.tracer.span("admit"):
-                    while (arrival_idx < len(self._arrivals)
-                           and self._arrivals[arrival_idx].submit_time <= now):
-                        job = self._arrivals[arrival_idx]
-                        arrival_idx += 1
+                    while (self._arrival_idx < len(self._arrivals)
+                           and self._arrivals[self._arrival_idx].submit_time
+                           <= self._now):
+                        job = self._arrivals[self._arrival_idx]
+                        self._arrival_idx += 1
                         estimator = self.scheduler.make_estimator(
                             job, self.cluster, self.config.profiling_mode)
                         estimator.profile_initial()
@@ -192,28 +265,161 @@ class Simulator:
 
             if not active:
                 # idle until the next arrival, quantized to rounds
-                next_arrival = self._arrivals[arrival_idx].submit_time
-                rounds_ahead = max(1, int((next_arrival - now) // dt))
-                now += rounds_ahead * dt
+                next_arrival = self._arrivals[self._arrival_idx].submit_time
+                rounds_ahead = max(1, int((next_arrival - self._now) // dt))
+                self._now += rounds_ahead * dt
                 continue
 
             with self.tracer.span("round", index=len(result.rounds),
-                                  time=now, active_jobs=len(active)):
-                record = self._run_round(active, finished, now, dt,
-                                         len(result.rounds))
+                                  time=self._now, active_jobs=len(active)):
+                record = self._run_round(active, self._finished, self._now,
+                                         dt, len(result.rounds))
             result.rounds.append(record)
-            now += dt
+            self._now += dt
+            self._maybe_checkpoint(len(result.rounds))
+            self._crash_point("round_end", len(result.rounds))
 
-        # 6. finalize records (censored jobs included)
-        result.end_time = now
+        return self._finalize(cap)
+
+    def _finalize(self, cap: float) -> SimulationResult:
+        """6. finalize records — censored *and* never-admitted jobs included,
+        so the per-job records always sum to the input trace size."""
+        result = self._result
+        assert result is not None
+        result.end_time = self._now
         result.node_failures = self.total_failures
-        for rt in finished + list(active.values()):
+        for rt in self._finished + list(self._active.values()):
             result.jobs.append(self._record(rt))
-        result.censored = len(active)
+        # Jobs whose submit time fell past the cap never reached admission;
+        # record them as never-started so totals reconcile against the trace.
+        never_admitted = self._arrivals[self._arrival_idx:]
+        for job in never_admitted:
+            result.jobs.append(JobRecord(
+                job_id=job.job_id, model_name=job.model_name,
+                category=job.profile.category,
+                adaptivity=job.adaptivity.value,
+                submit_time=job.submit_time, first_start=None,
+                finish_time=None, num_restarts=0,
+                target_samples=job.target_samples))
+        result.censored = len(self._active) + len(never_admitted)
         result.jobs.sort(key=lambda r: (r.submit_time, r.job_id))
         result.spans = list(self.tracer.spans)
         result.final_metrics = self.metrics.snapshot()
         return result
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    @property
+    def invariant_violations(self) -> list:
+        """Violations the invariant checker recorded (empty when off)."""
+        return list(self._invariants.violations) if self._invariants else []
+
+    def _crash_point(self, stage: str, round_index: int) -> None:
+        hook = self.config.checkpoint.crash_hook if self.config.checkpoint \
+            else None
+        if hook is not None:
+            hook(stage, round_index)
+
+    def _maybe_checkpoint(self, round_index: int) -> None:
+        cfg = self.config.checkpoint
+        if cfg is None or cfg.every_rounds <= 0 \
+                or round_index % cfg.every_rounds != 0:
+            return
+        self.save_checkpoint()
+
+    def save_checkpoint(self) -> Path:
+        """Write a checkpoint of the current state to the configured
+        directory (atomic + checksummed), pruning old ones; returns the
+        path written."""
+        cfg = self.config.checkpoint
+        if cfg is None:
+            raise CheckpointError(
+                "no CheckpointConfig on SimulatorConfig.checkpoint")
+        state = self._snapshot()
+        path = ckpt.checkpoint_path(cfg.directory, state.round_index)
+        write_hook = None
+        if cfg.crash_hook is not None:
+            round_index = state.round_index
+            hook = cfg.crash_hook
+
+            def write_hook(stage: str) -> None:
+                hook(stage, round_index)
+        with self.tracer.span("checkpoint", round=state.round_index):
+            ckpt.write_checkpoint(state, path, crash_hook=write_hook)
+        self.metrics.counter("checkpoint.writes").inc()
+        ckpt.prune_checkpoints(cfg.directory, cfg.keep)
+        return path
+
+    def _snapshot(self) -> CheckpointState:
+        """Capture the complete mutable engine state (between rounds)."""
+        result = self._result
+        assert result is not None, "snapshot outside run()"
+        return CheckpointState(
+            round_index=len(result.rounds),
+            now=self._now,
+            arrival_idx=self._arrival_idx,
+            arrivals=self._arrivals,
+            active=self._active,
+            finished=self._finished,
+            result=result,
+            execution=self._execution,
+            fault_models=self._fault_models,
+            scheduler=self.scheduler,
+            metrics=self.metrics,
+            invariants=self._invariants,
+            total_failures=self.total_failures,
+            caught_scheduler_failures=self.caught_scheduler_failures,
+            cluster_signature=ckpt.cluster_signature(self.cluster),
+            seed=self.config.seed,
+            scheduler_name=self.scheduler.name,
+        )
+
+    def _restore(self, source: str | Path | CheckpointState) -> None:
+        """Adopt a checkpoint's state wholesale; see :meth:`run`."""
+        if isinstance(source, CheckpointState):
+            state = source
+        else:
+            path = Path(source)
+            if path.is_dir():
+                state, used, skipped = ckpt.latest_valid_checkpoint(path)
+                if skipped:
+                    self.tracer.instant(
+                        "checkpoint_fallback", used=used.name,
+                        skipped=",".join(p.name for p in skipped))
+                    self.metrics.counter("checkpoint.corrupt_skipped") \
+                        .inc(len(skipped))
+            else:
+                state = ckpt.read_checkpoint(path)
+        ours = ckpt.cluster_signature(self.cluster)
+        if state.cluster_signature and state.cluster_signature != ours:
+            raise CheckpointError(
+                "checkpoint was taken on a structurally different cluster "
+                f"({state.cluster_signature} != {ours})")
+        self._arrivals = state.arrivals
+        self._active = state.active
+        self._finished = state.finished
+        self._arrival_idx = state.arrival_idx
+        self._now = state.now
+        self._result = state.result
+        self._execution = state.execution
+        self._fault_models = state.fault_models
+        self.scheduler = state.scheduler
+        self.metrics = state.metrics
+        self.total_failures = state.total_failures
+        self.caught_scheduler_failures = state.caught_scheduler_failures
+        self._round_speed = {}
+        # The restored checker keeps its accumulated per-job tracking, but
+        # this run's config decides whether (and how sternly) it is used.
+        if self.config.invariants == "off":
+            self._invariants = None
+        else:
+            self._invariants = state.invariants \
+                or InvariantChecker(mode=self.config.invariants)
+            self._invariants.mode = self.config.invariants
+        self._bind_observability()
+        self.metrics.counter("checkpoint.restores").inc()
+        self.tracer.instant("checkpoint_restore",
+                            round=state.round_index, time=state.now)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -349,6 +555,15 @@ class Simulator:
                 finished.append(active.pop(job_id))
 
         self._update_metrics(record, plan)
+        if self._invariants is not None:
+            # Audit over the real engine state: still-active runtimes plus
+            # the ones that finished this round (the tail of `finished`).
+            done_runtimes = finished[len(finished) - len(done_ids):]
+            self._invariants.check_round(
+                round_index=round_index, cluster_view=cluster_view,
+                record=record,
+                runtimes=list(active.values()) + done_runtimes,
+                fault_hit=fault_hit, done_ids=done_ids)
         record.metrics = self.metrics.snapshot()
         return record
 

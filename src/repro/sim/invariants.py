@@ -1,0 +1,211 @@
+"""Round-level invariant auditing for the simulation engine.
+
+The simulator's correctness rests on a handful of structural properties
+that every round must satisfy no matter which scheduler, fault mix, or
+degradation path produced it.  :class:`InvariantChecker` verifies them
+after each round, over the engine's real state (runtimes + the just-built
+:class:`~repro.sim.telemetry.RoundRecord`):
+
+* **capacity** — allocations never over-subscribe a node, never mix GPU
+  types on a node, and per-type totals match the recorded ``gpus_used``;
+* **down-node** — no allocation touches a node absent from this round's
+  surviving cluster view (i.e. a node a fault model took down);
+* **state-machine** — jobs move ``pending -> active -> finished`` only: a
+  finished job never reappears, and every FINISH audit event matches a job
+  that actually left the active set this round;
+* **progress** — per-job progress is monotone except for jobs a fault
+  rolled back to their epoch checkpoint this round;
+* **ledger** — the round record is internally consistent: ``running_jobs``
+  equals the allocation count, realized goodputs cover exactly the
+  allocated jobs and are non-negative, and estimates refer to active jobs.
+
+Two modes: ``strict`` raises :class:`InvariantError` on the first
+violation (tests, CI); ``log`` records violations — tracer instant,
+``invariant_violations`` counter, and the :attr:`InvariantChecker.violations`
+list — and lets the run continue (production posture).  The checker's
+per-job tracking state is part of the engine checkpoint, so auditing
+resumes seamlessly across a crash/restore boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs import audit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:
+    from repro.cluster.cluster import Cluster
+    from repro.sim.telemetry import RoundRecord
+
+#: accepted ``SimulatorConfig.invariants`` values.
+MODES = ("off", "log", "strict")
+
+#: progress comparisons tolerate float noise up to this many samples.
+_PROGRESS_EPS = 1e-6
+
+
+class InvariantError(RuntimeError):
+    """A strict-mode invariant violation (simulation state is inconsistent)."""
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One violated invariant, recorded in ``log`` mode."""
+
+    round_index: int
+    #: invariant family: capacity / down-node / state-machine / progress /
+    #: ledger.
+    name: str
+    message: str
+
+
+class InvariantChecker:
+    """Audits engine state after every round; see the module docstring.
+
+    The checker carries per-job progress/state tracking across rounds, so
+    it must live exactly as long as the run — the engine checkpoints it
+    alongside the rest of the simulation state.
+    """
+
+    #: observability sinks, injected by the engine (and re-injected after a
+    #: checkpoint restore; tracers are never serialized).
+    tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry | None = None
+
+    def __init__(self, mode: str = "strict"):
+        if mode not in ("log", "strict"):
+            raise ValueError(f"invariant mode must be 'log' or 'strict', "
+                             f"got {mode!r}")
+        self.mode = mode
+        self.violations: list[InvariantViolation] = []
+        #: job id -> last seen progress (samples).
+        self._progress: dict[str, float] = {}
+        #: job ids that have finished; they must never run again.
+        self._finished: set[str] = set()
+
+    # -- entry point -----------------------------------------------------------
+
+    def check_round(self, *, round_index: int, cluster_view: "Cluster",
+                    record: "RoundRecord", runtimes: Iterable,
+                    fault_hit: set[str], done_ids: list[str]) -> None:
+        """Audit one completed round.
+
+        ``runtimes`` iterates every runtime the round touched — still-active
+        jobs plus the ones that finished this round (``done_ids``);
+        ``cluster_view`` is the surviving-node view the round was planned
+        over; ``fault_hit`` holds jobs a fault rolled back this round.
+        """
+        runtimes = list(runtimes)
+        self._check_capacity(round_index, cluster_view, record, runtimes)
+        self._check_state_machine(round_index, record, runtimes, done_ids)
+        self._check_progress(round_index, runtimes, fault_hit, done_ids)
+        self._check_ledger(round_index, record, runtimes)
+
+    # -- individual invariants -------------------------------------------------
+
+    def _check_capacity(self, round_index: int, cluster_view: "Cluster",
+                        record: "RoundRecord", runtimes: list) -> None:
+        nodes = {n.node_id: n for n in cluster_view.nodes}
+        used_per_node: dict[int, int] = {}
+        used_per_type: dict[str, int] = {}
+        for rt in runtimes:
+            alloc = rt.allocation
+            if alloc is None:
+                continue
+            used_per_type[alloc.gpu_type] = \
+                used_per_type.get(alloc.gpu_type, 0) + alloc.num_gpus
+            for node_id, count in alloc.gpus_per_node:
+                node = nodes.get(node_id)
+                if node is None:
+                    self._violate(round_index, "down-node",
+                                  f"job {rt.job.job_id} allocated on node "
+                                  f"{node_id}, which is down or unknown "
+                                  "this round")
+                    continue
+                if node.gpu_type != alloc.gpu_type:
+                    self._violate(round_index, "capacity",
+                                  f"job {rt.job.job_id} allocation says "
+                                  f"{alloc.gpu_type} but node {node_id} "
+                                  f"is {node.gpu_type}")
+                used_per_node[node_id] = \
+                    used_per_node.get(node_id, 0) + count
+        for node_id, count in used_per_node.items():
+            node = nodes.get(node_id)
+            if node is not None and count > node.num_gpus:
+                self._violate(round_index, "capacity",
+                              f"node {node_id} over-subscribed: {count} > "
+                              f"{node.num_gpus}")
+        if used_per_type != {t: c for t, c in record.gpus_used.items() if c}:
+            self._violate(round_index, "ledger",
+                          f"recorded gpus_used {record.gpus_used} disagrees "
+                          f"with allocations {used_per_type}")
+
+    def _check_state_machine(self, round_index: int, record: "RoundRecord",
+                             runtimes: list, done_ids: list[str]) -> None:
+        for rt in runtimes:
+            if rt.job.job_id in self._finished:
+                self._violate(round_index, "state-machine",
+                              f"finished job {rt.job.job_id} reappeared in "
+                              "the active set")
+        finish_events = {e.job_id for e in record.events
+                         if e.kind == audit.FINISH}
+        if finish_events != set(done_ids):
+            self._violate(round_index, "state-machine",
+                          f"FINISH events {sorted(finish_events)} do not "
+                          f"match jobs that completed {sorted(done_ids)}")
+        self._finished.update(done_ids)
+
+    def _check_progress(self, round_index: int, runtimes: list,
+                        fault_hit: set[str], done_ids: list[str]) -> None:
+        for rt in runtimes:
+            job_id = rt.job.job_id
+            prev = self._progress.get(job_id)
+            if prev is not None and rt.progress < prev - _PROGRESS_EPS \
+                    and job_id not in fault_hit:
+                self._violate(round_index, "progress",
+                              f"job {job_id} progress went backwards "
+                              f"({prev:.3f} -> {rt.progress:.3f}) without a "
+                              "fault rollback")
+            self._progress[job_id] = rt.progress
+        for job_id in done_ids:  # finished jobs never report progress again
+            self._progress.pop(job_id, None)
+
+    def _check_ledger(self, round_index: int, record: "RoundRecord",
+                      runtimes: list) -> None:
+        if record.running_jobs != len(record.allocations):
+            self._violate(round_index, "ledger",
+                          f"running_jobs={record.running_jobs} but "
+                          f"{len(record.allocations)} allocations recorded")
+        if set(record.realized) != set(record.allocations):
+            self._violate(round_index, "ledger",
+                          "realized goodputs cover "
+                          f"{sorted(record.realized)} but allocations cover "
+                          f"{sorted(record.allocations)}")
+        for job_id, value in record.realized.items():
+            if value < 0:
+                self._violate(round_index, "ledger",
+                              f"job {job_id} realized negative goodput "
+                              f"{value}")
+        active_ids = {rt.job.job_id for rt in runtimes}
+        stray = set(record.estimates) - active_ids
+        if stray:
+            self._violate(round_index, "ledger",
+                          f"estimates recorded for non-active jobs "
+                          f"{sorted(stray)}")
+
+    # -- violation sink --------------------------------------------------------
+
+    def _violate(self, round_index: int, name: str, message: str) -> None:
+        violation = InvariantViolation(round_index=round_index, name=name,
+                                       message=message)
+        self.violations.append(violation)
+        self.tracer.instant("invariant_violation", invariant=name,
+                            round=round_index, message=message)
+        if self.metrics is not None:
+            self.metrics.counter("invariant_violations").inc()
+            self.metrics.counter(f"invariant_violations.{name}").inc()
+        if self.mode == "strict":
+            raise InvariantError(f"round {round_index}: [{name}] {message}")

@@ -69,7 +69,9 @@ class JobRecord:
         end = self.finish_time if self.finish_time is not None else horizon
         if end is None:
             raise ValueError(f"job {self.job_id} incomplete and no horizon given")
-        return end - self.submit_time
+        # Never-admitted jobs (submitted past the simulation cap) clamp to
+        # zero rather than reporting a negative completion time.
+        return max(0.0, end - self.submit_time)
 
     @property
     def total_gpu_seconds(self) -> float:
@@ -258,6 +260,19 @@ class SimulationResult:
         """Rounds by reported plan backend ('' = backend not reported)."""
         return self._summary_counts(self.saved_backend_counts,
                                     lambda rnd: (rnd.backend,))
+
+    def resilience_counts(self) -> dict[str, int]:
+        """Resilience-layer counters — breaker trips, rounds served per
+        solver backend, failures caught by the scheduler guard and the
+        simulator guard — from the final metrics snapshot.  Populated both
+        on live results and on results loaded by :mod:`repro.io` (the
+        snapshot is persisted as ``final_metrics``)."""
+        out: dict[str, int] = {}
+        for key, value in self.final_metrics.items():
+            if key.startswith("resilience.") \
+                    or key == "caught_scheduler_failures":
+                out[key] = int(value)
+        return out
 
     def fault_timeline(self) -> list[FaultEvent]:
         """Every injected fault in simulation-time order."""

@@ -78,6 +78,35 @@ class TestRun:
                      "--window-hours", "0.25", "--failure-rate", "2.0"])
         assert code == 0
 
+    def test_run_checkpoints_and_resumes(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        base = ["--scheduler", "sia", "--trace-name", "philly",
+                "--num-jobs", "4", "--work-scale", "0.05",
+                "--window-hours", "0.25", "--invariants", "strict"]
+        code = main(["run", *base, "--checkpoint-dir", str(ckpt_dir),
+                     "--checkpoint-every", "3", "--checkpoint-keep", "0"])
+        assert code == 0
+        written = list(ckpt_dir.glob("ckpt-*.ckpt"))
+        assert written
+        capsys.readouterr()
+        # resume the finished run from its last checkpoint: replays the
+        # tail rounds and reports the same summary table
+        code = main(["run", *base, "--resume-from", str(ckpt_dir)])
+        assert code == 0
+        assert "avg_jct_h" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_chaos_equivalence_exit_code(self, tmp_path, capsys):
+        code = main(["chaos", "--trace-name", "philly", "--num-jobs", "4",
+                     "--work-scale", "0.05", "--window-hours", "0.25",
+                     "--checkpoint-dir", str(tmp_path / "chaos"),
+                     "--checkpoint-every", "3", "--kill-round", "5",
+                     "--job-crash-rate", "2.0", "--resilient",
+                     "--invariants", "strict", "--corrupt-latest"])
+        assert code == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
 
 class TestCompare:
     def test_compare_three_schedulers(self, capsys):

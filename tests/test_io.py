@@ -86,3 +86,57 @@ class TestResultRoundtrip:
         loaded = io.load_result(path)
         assert loaded.rounds == []
         assert len(loaded.jobs) == len(result.jobs)
+
+
+class TestAtomicWriters:
+    """Every repro.io writer goes through the shared atomic helper: a crash
+    mid-save must never truncate an existing artifact."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        cluster = presets.heterogeneous()
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.05)]
+        return simulate(cluster, SiaScheduler(), jobs)
+
+    def test_save_trace_leaves_no_tmp(self, tmp_path):
+        trace = philly_trace(seed=0, num_jobs=5)
+        path = tmp_path / "trace.json"
+        io.save_trace(trace, path)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_save_result_leaves_no_tmp(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        io.save_result(result, path)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_save_ledger_leaves_no_tmp(self, result, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        io.save_ledger(result, path)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_interrupted_write_preserves_previous_file(self, result,
+                                                       tmp_path,
+                                                       monkeypatch):
+        from repro import atomicio
+        path = tmp_path / "result.json"
+        io.save_result(result, path)
+        before = path.read_bytes()
+
+        original = atomicio.atomic_write_bytes
+
+        def dying_write(p, data, *, crash_hook=None):
+            def hook(stage):
+                if stage == "mid_write":
+                    raise RuntimeError("simulated crash")
+            original(p, data, crash_hook=hook)
+
+        monkeypatch.setattr(io, "atomic_write_text",
+                            lambda p, text: dying_write(
+                                p, text.encode("utf-8")))
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            io.save_result(result, path)
+        assert path.read_bytes() == before  # old artifact untouched
+        assert io.load_result(path).scheduler_name == result.scheduler_name

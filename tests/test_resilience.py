@@ -122,6 +122,142 @@ class TestResilientSolver:
         assert solution.assignment
 
 
+class TestSolverExhaustedChain:
+    """The full degradation chain down to SolverExhaustedError, and the
+    breaker-open-with-greedy-primary edge case."""
+
+    def test_exhausted_records_stats_and_metrics(self, monkeypatch):
+        from repro.obs.metrics import MetricsRegistry
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_greedy", boom)
+        solver = ResilientSolver()
+        solver.metrics = MetricsRegistry()
+        with pytest.raises(SolverExhaustedError):
+            solver.solve(problem())
+        assert solver.stats["exhausted"] == 1
+        assert solver.metrics.snapshot()["resilience.backend.exhausted"] == 1
+
+    def test_exhausted_message_names_primary(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_greedy", boom)
+        with pytest.raises(SolverExhaustedError, match="primary='milp'"):
+            ResilientSolver().solve(problem())
+
+    def test_greedy_exception_still_counts_primary_failure(self, monkeypatch):
+        """A round where both backends die must advance the breaker, so a
+        persistently broken solver eventually stops being retried."""
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_greedy", boom)
+        solver = ResilientSolver(ResilienceConfig(breaker_threshold=2,
+                                                  breaker_cooldown_rounds=2))
+        p = problem()
+        with pytest.raises(SolverExhaustedError):
+            solver.solve(p)
+        with pytest.raises(SolverExhaustedError):
+            solver.solve(p)
+        assert solver.breaker_open
+        assert solver.stats["breaker_trips"] == 1
+
+    def test_breaker_open_with_greedy_primary_exhausts(self, monkeypatch):
+        """Edge case: primary == 'greedy' and the breaker is open.  The
+        open breaker skips the primary, and there is no further fallback
+        below greedy — the solver must raise (callers carry forward during
+        the cooldown) rather than loop or return garbage."""
+        calls = {"n": 0}
+
+        def counting_greedy(*args, **kwargs):
+            calls["n"] += 1
+            raise RuntimeError("injected greedy failure")
+        monkeypatch.setattr(ilp, "_solve_greedy", counting_greedy)
+        solver = ResilientSolver(ResilienceConfig(breaker_threshold=1,
+                                                  breaker_cooldown_rounds=2))
+        p = problem()
+        with pytest.raises(SolverExhaustedError):
+            solver.solve(p, primary="greedy")  # failure trips the breaker
+        assert solver.breaker_open
+        calls["n"] = 0
+        with pytest.raises(SolverExhaustedError):
+            solver.solve(p, primary="greedy")
+        # Cooldown round: no backend attempted at all — straight to raise.
+        assert calls["n"] == 0
+        assert solver.stats["exhausted"] == 2
+
+    def test_breaker_open_greedy_primary_recovers_after_cooldown(
+            self, monkeypatch):
+        real = ilp._solve_greedy
+        calls = {"n": 0}
+
+        def flaky_greedy(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected")
+            return real(*args, **kwargs)
+        monkeypatch.setattr(ilp, "_solve_greedy", flaky_greedy)
+        solver = ResilientSolver(ResilienceConfig(breaker_threshold=1,
+                                                  breaker_cooldown_rounds=1))
+        p = problem()
+        with pytest.raises(SolverExhaustedError):
+            solver.solve(p, primary="greedy")  # trips the breaker
+        with pytest.raises(SolverExhaustedError):
+            solver.solve(p, primary="greedy")  # cooldown round, skipped
+        solution, backend, degraded = solver.solve(p, primary="greedy")
+        assert backend == "greedy" and not degraded
+        assert solution.assignment
+
+    def test_exhausted_policy_is_rescued_by_scheduler_guard(
+            self, monkeypatch, hetero_cluster):
+        """End to end: both backends dead -> SiaPolicy raises
+        SolverExhaustedError -> ResilientScheduler carries forward."""
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_greedy", boom)
+        params = SiaPolicyParams(resilience=ResilienceConfig())
+        sched = ResilientScheduler(SiaScheduler(params))
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.3)]
+        result = simulate(hetero_cluster, sched, jobs, max_hours=1)
+        assert sched.caught_failures > 0
+        assert isinstance(sched.last_error, SolverExhaustedError)
+        assert result.backend_counts().get("carry", 0) > 0
+
+    def test_solver_counters_reach_round_snapshots(self, monkeypatch,
+                                                   hetero_cluster,
+                                                   tmp_path):
+        """Satellite: ResilientSolver/ResilientScheduler counters are folded
+        into the run's MetricsRegistry and surface in saved results."""
+        from repro import io
+        real = ilp._solve_milp
+        calls = {"n": 0}
+
+        def flaky(problem, time_limit=None):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise RuntimeError("injected")
+            return real(problem, time_limit=time_limit)
+        monkeypatch.setattr(ilp, "_solve_milp", flaky)
+        params = SiaPolicyParams(resilience=ResilienceConfig())
+        sched = ResilientScheduler(SiaScheduler(params))
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.3)]
+        result = simulate(hetero_cluster, sched, jobs, max_hours=100)
+        counts = result.resilience_counts()
+        assert counts.get("resilience.backend.milp", 0) > 0
+        assert counts.get("resilience.backend.greedy", 0) > 0
+        # the same counters appear in the final per-round snapshot
+        assert result.rounds[-1].metrics.get("resilience.backend.greedy",
+                                             0) > 0
+        # ... and survive a save/load round trip
+        path = tmp_path / "res.json"
+        io.save_result(result, path)
+        assert io.load_result(path).resilience_counts() == counts
+
+
 class TestCarryForward:
     def _random_previous(self, cluster, rng, n_jobs):
         """Valid allocations on the full cluster, random but packed."""

@@ -120,6 +120,33 @@ class TestEngine:
         assert result.censored == 1
         assert not result.jobs[0].completed
 
+    def test_never_admitted_jobs_still_get_records(self, hetero_cluster):
+        """Jobs whose submit time falls past the cap must appear in the
+        result (never-started), so per-job totals sum to the trace size."""
+        jobs = [tiny_job("early"),
+                tiny_job("late-1", submit=100 * 3600.0),
+                tiny_job("late-2", submit=200 * 3600.0)]
+        result = simulate(hetero_cluster, SiaScheduler(), jobs, max_hours=1.0)
+        assert len(result.jobs) == len(jobs)
+        for job_id in ("late-1", "late-2"):
+            record = result.job(job_id)
+            assert record.first_start is None
+            assert not record.completed
+            assert record.num_restarts == 0
+            assert record.gpu_seconds == {}
+        # trace reconciles: every job is either completed or censored
+        assert len(result.completed_jobs) + result.censored == len(jobs)
+        assert result.censored == 2
+
+    def test_never_admitted_jct_clamps_to_zero(self, hetero_cluster):
+        """A job submitted after the simulation horizon must not report a
+        negative completion time."""
+        jobs = [tiny_job("early"), tiny_job("late", submit=100 * 3600.0)]
+        result = simulate(hetero_cluster, SiaScheduler(), jobs, max_hours=1.0)
+        late = result.job("late")
+        assert late.jct(result.end_time) == 0.0
+        assert all(t >= 0.0 for t in result.jcts_hours())
+
     def test_contention_tracked(self, hetero_cluster):
         jobs = [tiny_job(f"j{i}") for i in range(5)]
         result = simulate(hetero_cluster, SiaScheduler(), jobs)
