@@ -131,6 +131,8 @@ def _round_detail(result: SimulationResult, ledger: GoodputLedger,
     for fault in rnd.fault_events:
         lines.append(f"  fault: {fault.kind} on {fault.target}"
                      + (f" ({fault.detail})" if fault.detail else ""))
+    for event in rnd.health_events:
+        lines.append(f"  health: {event.describe()}")
     return lines
 
 

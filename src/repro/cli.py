@@ -13,6 +13,8 @@ Subcommands::
     python -m repro run ... --checkpoint-dir ckpts --checkpoint-every 25
     python -m repro run ... --resume-from ckpts     # continue a killed run
     python -m repro chaos --trace-name philly --num-jobs 12 --work-scale 0.05
+    python -m repro chaos --scenario gray     # gray failures + health defense
+    python -m repro run ... --gray-rate 2 --health --health-events-out h.jsonl
 
 ``run`` and ``compare`` accept either a saved trace file (``--trace``) or
 generator parameters (``--trace-name``/``--seed``/...).  Results can be
@@ -30,6 +32,7 @@ from repro import io
 from repro.analysis.render import format_table
 from repro.cluster import presets
 from repro.cluster.gpu import GPU_CATALOG
+from repro.core.health import HealthConfig
 from repro.core.policy import SiaPolicyParams
 from repro.core.resilience import ResilienceConfig, ResilientScheduler
 from repro.core.types import ProfilingMode
@@ -45,7 +48,9 @@ from repro.sim.chaos import run_chaos
 from repro.sim.checkpoint import CheckpointConfig
 from repro.sim.engine import Simulator, SimulatorConfig
 from repro.sim.faults import (CheckpointRestoreFaultModel, FaultModel,
-                              JobCrashModel, StragglerModel)
+                              GrayFailureModel, JobCrashModel,
+                              PlacementFailureModel, StragglerModel,
+                              TelemetryCorruptionModel)
 from repro.sim.invariants import MODES as INVARIANT_MODES
 from repro.workloads.generators import SPECS, trace_by_name
 from repro.workloads.trace import Trace
@@ -99,6 +104,16 @@ def build_fault_models(args: argparse.Namespace) -> list[FaultModel]:
     if getattr(args, "restore_failure_prob", 0.0) > 0:
         models.append(CheckpointRestoreFaultModel(
             failure_prob=args.restore_failure_prob))
+    if getattr(args, "gray_rate", 0.0) > 0:
+        models.append(GrayFailureModel(rate=args.gray_rate,
+                                       slowdown=args.gray_slowdown,
+                                       duration=args.gray_duration))
+    if getattr(args, "placement_fail_prob", 0.0) > 0:
+        models.append(PlacementFailureModel(
+            failure_prob=args.placement_fail_prob))
+    if getattr(args, "telemetry_corrupt_rate", 0.0) > 0:
+        models.append(TelemetryCorruptionModel(
+            rate=args.telemetry_corrupt_rate))
     return models
 
 
@@ -145,7 +160,8 @@ def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
         resilient=getattr(args, "resilient", False),
         tracer=tracer,
         checkpoint=_checkpoint_config(args),
-        invariants=getattr(args, "invariants", "off"))
+        invariants=getattr(args, "invariants", "off"),
+        health=HealthConfig() if getattr(args, "health", False) else None)
     simulator = Simulator(cluster, scheduler, jobs, config)
     result = simulator.run(resume_from=getattr(args, "resume_from", None))
     violations = simulator.invariant_violations
@@ -157,6 +173,10 @@ def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
         path = _suffixed(args.ledger_out, suffix)
         io.save_ledger(result, path)
         print(f"wrote goodput ledger to {path}")
+    if getattr(args, "health_events_out", None):
+        path = _suffixed(args.health_events_out, suffix)
+        io.save_health_events(result, path)
+        print(f"wrote health events to {path}")
     return result
 
 
@@ -194,7 +214,8 @@ def _print_robustness_summary(result) -> None:
     degraded = result.degraded_rounds
     backends = {k or "?": v for k, v in result.backend_counts().items()}
     resilience = result.resilience_counts()
-    if not faults and not degraded and not resilience:
+    health = result.health_counts()
+    if not faults and not degraded and not resilience and not health:
         return
     parts = []
     if faults:
@@ -207,6 +228,9 @@ def _print_robustness_summary(result) -> None:
         parts.append("resilience: " + ", ".join(
             f"{k.removeprefix('resilience.')}={v}"
             for k, v in sorted(resilience.items())))
+    if health:
+        parts.append("health: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(health.items())))
     print("; ".join(parts))
 
 
@@ -279,10 +303,38 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_gray_scenario_defaults(args: argparse.Namespace) -> None:
+    """``chaos --scenario gray`` preset: all three gray-failure fault models,
+    health scoring, and strict invariants on a short dense run.  Only flags
+    the user left at their defaults are touched, so explicit overrides win."""
+    if args.gray_rate == 0.0:
+        args.gray_rate = 4.0
+    if args.placement_fail_prob == 0.0:
+        args.placement_fail_prob = 0.15
+    if args.telemetry_corrupt_rate == 0.0:
+        args.telemetry_corrupt_rate = 0.1
+    args.health = True
+    args.resilient = True
+    if args.invariants == "off":
+        args.invariants = "strict"
+    if args.num_jobs is None:
+        args.num_jobs = 8
+    if args.work_scale == 1.0:
+        args.work_scale = 0.2
+    if args.window_hours is None:
+        args.window_hours = 0.5
+    if args.max_hours == 1000.0:
+        args.max_hours = 6.0
+    if args.kill_round is None:
+        args.kill_round = 12
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Kill/resume equivalence experiment (see :mod:`repro.sim.chaos`)."""
     import tempfile
 
+    if getattr(args, "scenario", "kill") == "gray":
+        _apply_gray_scenario_defaults(args)
     trace = resolve_trace(args)
     cluster = presets.by_name(args.cluster)
     jobs = trace.jobs
@@ -300,12 +352,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             fault_models=build_fault_models(args),
             resilient=getattr(args, "resilient", False),
             checkpoint=ckpt_cfg,
-            invariants=args.invariants)
+            invariants=args.invariants,
+            health=HealthConfig() if getattr(args, "health", False) else None)
         return Simulator(cluster, scheduler, jobs, config)
 
     directory = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-chaos-")
-    print(f"chaos: scheduler={args.scheduler} trace={trace.name} "
-          f"kill_stage={args.kill_stage} checkpoints={directory}",
+    print(f"chaos: scenario={args.scenario} scheduler={args.scheduler} "
+          f"trace={trace.name} kill_stage={args.kill_stage} "
+          f"checkpoints={directory}",
           file=sys.stderr)
     report = run_chaos(factory, directory=directory,
                        kill_round=args.kill_round,
@@ -370,6 +424,25 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
                         help="transient job crashes per job-hour")
     parser.add_argument("--restore-failure-prob", type=float, default=0.0,
                         help="probability a restore round fails, in [0, 1)")
+    parser.add_argument("--gray-rate", type=float, default=0.0,
+                        help="gray-failure onsets per node-hour (silent "
+                             "slowdowns masked from telemetry)")
+    parser.add_argument("--gray-slowdown", type=float, default=0.35,
+                        help="gray-failed node speed factor in (0, 1]")
+    parser.add_argument("--gray-duration", type=float, default=7200.0,
+                        help="seconds a gray failure persists")
+    parser.add_argument("--placement-fail-prob", type=float, default=0.0,
+                        help="per-node probability an applied allocation "
+                             "fails to start, in [0, 1)")
+    parser.add_argument("--telemetry-corrupt-rate", type=float, default=0.0,
+                        help="per-observation corruption probability "
+                             "(drop/duplicate/scale/stale), in [0, 1)")
+    parser.add_argument("--health", action="store_true",
+                        help="enable node health scoring with "
+                             "probation/quarantine/drain")
+    parser.add_argument("--health-events-out", metavar="PATH",
+                        help="write node health-state transitions as JSONL "
+                             "here (compare mode appends the scheduler name)")
     parser.add_argument("--resilient", action="store_true",
                         help="solver fallback chain + carry-forward guard")
     parser.add_argument("--solve-budget", type=float, default=5.0,
@@ -439,6 +512,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--scheduler", default="sia")
     _add_trace_options(chaos)
     _add_sim_options(chaos)
+    chaos.add_argument("--scenario", default="kill",
+                       choices=["kill", "gray"],
+                       help="'kill' = plain crash/resume; 'gray' = layer in "
+                            "gray failures, placement flaps, telemetry "
+                            "corruption, health scoring and strict "
+                            "invariants before the crash")
     chaos.add_argument("--kill-round", type=int, default=None,
                        help="round to crash at (default: seeded random)")
     chaos.add_argument("--kill-stage", default="round_end",

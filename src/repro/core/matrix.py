@@ -111,6 +111,33 @@ def apply_restart_discount(matrix: np.ndarray,
     return out
 
 
+def apply_health_discount(matrix: np.ndarray, config_types: list[str],
+                          discounts: dict[str, float]) -> np.ndarray:
+    """Discount goodputs on GPU types with probation nodes (gray defense).
+
+    ``discounts`` maps gpu_type -> factor in (0, 1] from
+    :meth:`repro.core.health.HealthTracker.type_discounts`; absent types
+    keep 1.0.  Applied to the *goodput-domain* matrix before
+    :func:`shape_utilities`: shaving ``G`` by ``d < 1`` reduces a column's
+    attractiveness under both signs of the fairness power, whereas scaling
+    shaped utilities would invert the incentive for ``p < 0`` (where
+    utility is ``lambda - G^p`` and can be negative).  Returns ``matrix``
+    unchanged (same object) when no discount applies.
+    """
+    if matrix.size and matrix.shape[1] != len(config_types):
+        raise ValueError("config_types must match the number of columns")
+    if not discounts:
+        return matrix
+    for gpu_type, factor in discounts.items():
+        if not 0 < factor <= 1:
+            raise ValueError(f"discount for {gpu_type!r} must be in (0, 1], "
+                             f"got {factor}")
+    column = np.array([discounts.get(t, 1.0) for t in config_types])
+    if matrix.size == 0 or np.all(column == 1.0):
+        return matrix
+    return matrix * column[None, :]
+
+
 def shape_utilities(matrix: np.ndarray, *, p: float,
                     allocation_incentive: float) -> np.ndarray:
     """Fairness power + allocation incentive -> final ILP utilities.

@@ -66,6 +66,9 @@ class SiaPolicy:
     #: shared metrics registry, forwarded to the resilient solver so its
     #: breaker/backend counters reach the run's round snapshots.
     metrics = None
+    #: per-GPU-type goodput discounts for probation nodes, forwarded by the
+    #: scheduler from the health layer each round; None/{} = no discount.
+    health_discounts: dict[str, float] | None = None
 
     def __init__(self, params: SiaPolicyParams | None = None):
         self.params = params or SiaPolicyParams()
@@ -204,6 +207,13 @@ class SiaPolicy:
                 factors = [1.0] * len(views)
             discounted = gm.apply_restart_discount(normalized, current_idx,
                                                    factors)
+            if self.health_discounts:
+                # Probation nodes (health layer): shave the goodput domain
+                # before fairness shaping so the discount is direction-
+                # correct under both signs of p.
+                discounted = gm.apply_health_discount(
+                    discounted, [c.gpu_type for c in configs],
+                    self.health_discounts)
             utilities = gm.shape_utilities(
                 discounted, p=self.params.p,
                 allocation_incentive=self.params.allocation_incentive)

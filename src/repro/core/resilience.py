@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.core import ilp
+from repro.core.health import HealthTracker, deterministic_jitter
 from repro.core.ilp import AssignmentProblem, AssignmentSolution
 from repro.core.types import Allocation
 from repro.obs.metrics import MetricsRegistry
@@ -50,6 +51,14 @@ class ResilienceConfig:
     breaker_threshold: int = 3
     #: rounds the breaker stays open (primary solver skipped) once tripped.
     breaker_cooldown_rounds: int = 10
+    #: retry a failed/overrun primary attempt once with a relaxed budget
+    #: before degrading to greedy (skipped when the primary *is* greedy —
+    #: a relaxed time budget only means something to the budgeted MILP).
+    retry_primary: bool = True
+    #: relaxed-budget multiplier for the retry attempt.
+    retry_budget_factor: float = 2.0
+    #: deterministic jitter amplitude (fraction) on the relaxed budget.
+    retry_jitter: float = 0.25
 
     def __post_init__(self) -> None:
         if self.solve_budget_s <= 0:
@@ -58,6 +67,10 @@ class ResilienceConfig:
             raise ValueError("breaker_threshold must be >= 1")
         if self.breaker_cooldown_rounds < 1:
             raise ValueError("breaker_cooldown_rounds must be >= 1")
+        if self.retry_budget_factor < 1:
+            raise ValueError("retry_budget_factor must be >= 1")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be non-negative")
 
 
 class ResilientSolver:
@@ -83,6 +96,13 @@ class ResilientSolver:
         self._breaker_open_rounds = 0
         #: backend name -> rounds served by it (plus breaker trip count).
         self.stats: dict[str, int] = {"breaker_trips": 0}
+        #: "<backend>.<outcome>" -> attempt count (ok / timeout / error),
+        #: mirrored into ``resilience.attempt.*`` counters so per-attempt
+        #: outcomes persist through saved results.
+        self.attempt_outcomes: dict[str, int] = {}
+        #: lifetime relaxed-budget retries; also the jitter token, so the
+        #: retry budget varies deterministically without RNG state.
+        self.retries = 0
 
     @property
     def breaker_open(self) -> bool:
@@ -102,6 +122,38 @@ class ResilientSolver:
                 self.metrics.counter("resilience.breaker_trips").inc()
             self._consecutive_failures = 0
 
+    def _record_attempt(self, backend: str, outcome: str) -> None:
+        key = f"{backend}.{outcome}"
+        self.attempt_outcomes[key] = self.attempt_outcomes.get(key, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter(f"resilience.attempt.{key}").inc()
+
+    def _attempt(self, problem: AssignmentProblem, backend: str,
+                 budget: float, *, retry: bool = False,
+                 ) -> tuple[AssignmentSolution | None, str]:
+        """One budgeted attempt; returns (solution-or-None, outcome)."""
+        attrs = {"backend": backend}
+        if retry:
+            attrs["retry"] = True
+        with self.tracer.span("solve_attempt", **attrs) as attempt:
+            try:
+                start = time.perf_counter()
+                solution = ilp.solve_assignment(problem, backend=backend,
+                                                time_limit=budget,
+                                                tracer=self.tracer)
+                elapsed = time.perf_counter() - start
+                if elapsed > budget:
+                    attempt.annotate(outcome="timeout")
+                    self._record_attempt(backend, "timeout")
+                    return solution, "timeout"
+                attempt.annotate(outcome="ok")
+                self._record_attempt(backend, "ok")
+                return solution, "ok"
+            except Exception:
+                attempt.annotate(outcome="error")
+                self._record_attempt(backend, "error")
+                return None, "error"
+
     def solve(self, problem: AssignmentProblem, primary: str = "milp",
               ) -> tuple[AssignmentSolution, str, bool]:
         """Solve with fallback; returns (solution, backend_used, degraded)."""
@@ -111,40 +163,48 @@ class ResilientSolver:
             self.tracer.instant("breaker_skip", backend=primary,
                                 rounds_left=self._breaker_open_rounds)
         else:
-            with self.tracer.span("solve_attempt",
-                                  backend=primary) as attempt:
-                try:
-                    start = time.perf_counter()
-                    solution = ilp.solve_assignment(problem, backend=primary,
-                                                    time_limit=budget,
-                                                    tracer=self.tracer)
-                    elapsed = time.perf_counter() - start
-                    if elapsed > budget:
-                        # Budget overrun: keep the (possibly incumbent)
-                        # answer but count it toward the breaker and mark
-                        # the round.
-                        attempt.annotate(outcome="timeout")
-                        self._record_failure()
-                        self._count(primary)
-                        return solution, primary, True
-                    attempt.annotate(outcome="ok")
+            solution, outcome = self._attempt(problem, primary, budget)
+            if outcome == "ok":
+                self._consecutive_failures = 0
+                self._count(primary)
+                return solution, primary, False
+            if self.config.retry_primary and primary != "greedy":
+                # Many MILP timeouts are borderline; one retry with a
+                # slightly longer leash often beats dropping straight to
+                # greedy quality.  The budget is a solver knob (not a
+                # sleep), and its jitter is hash-derived so resumes replay
+                # identical budgets.  At most one breaker failure is
+                # recorded per solve() call either way.
+                self.retries += 1
+                relaxed = budget * self.config.retry_budget_factor * (
+                    1.0 + deterministic_jitter(f"solver-retry:{self.retries}",
+                                               self.config.retry_jitter))
+                self.tracer.instant("solve_retry", backend=primary,
+                                    budget=round(relaxed, 3))
+                if self.metrics is not None:
+                    self.metrics.counter("resilience.primary_retries").inc()
+                retry_solution, retry_outcome = self._attempt(
+                    problem, primary, relaxed, retry=True)
+                if retry_outcome == "ok":
                     self._consecutive_failures = 0
                     self._count(primary)
-                    return solution, primary, False
-                except Exception:
-                    attempt.annotate(outcome="error")
-                    self._record_failure()
+                    return retry_solution, primary, True
+                if retry_outcome == "timeout":
+                    solution, outcome = retry_solution, retry_outcome
+            if outcome == "timeout":
+                # Budget overrun (and the retry, if any, overran too):
+                # keep the (possibly incumbent) answer but count one
+                # failure toward the breaker and mark the round.
+                self._record_failure()
+                self._count(primary)
+                return solution, primary, True
+            self._record_failure()
         if primary != "greedy":
-            with self.tracer.span("solve_attempt",
-                                  backend="greedy") as attempt:
-                try:
-                    solution = ilp.solve_assignment(problem, backend="greedy",
-                                                    tracer=self.tracer)
-                    attempt.annotate(outcome="ok")
-                    self._count("greedy")
-                    return solution, "greedy", True
-                except Exception:
-                    attempt.annotate(outcome="error")
+            solution, outcome = self._attempt(problem, "greedy",
+                                              float("inf"))
+            if outcome == "ok":
+                self._count("greedy")
+                return solution, "greedy", True
         self._count("exhausted")
         raise SolverExhaustedError(
             f"all solver backends failed (primary={primary!r}); "
@@ -194,6 +254,13 @@ class ResilientScheduler(Scheduler):
     round cadence delegate to the inner scheduler.
     """
 
+    #: optional :class:`~repro.core.health.HealthTracker`.  When attached
+    #: (the engine does this when ``SimulatorConfig.health`` is set),
+    #: quarantined/drained nodes are filtered out of the cluster view the
+    #: inner scheduler sees, and probation-node goodput discounts are
+    #: forwarded through :attr:`health_discounts`.
+    health: HealthTracker | None = None
+
     def __init__(self, inner: Scheduler,
                  config: ResilienceConfig | None = None):
         self.inner = inner
@@ -213,6 +280,11 @@ class ResilientScheduler(Scheduler):
                previous: dict[str, Allocation], now: float) -> RoundPlan:
         self.inner.tracer = self.tracer
         self.inner.metrics = self.metrics
+        if self.health is not None:
+            cluster = self.health.healthy_view(cluster)
+            self.health_discounts = \
+                self.health.type_discounts(cluster) or None
+        self.inner.health_discounts = self.health_discounts
         try:
             plan = self.inner.decide(views, cluster, previous, now)
             plan.validate(cluster)

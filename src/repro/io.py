@@ -19,6 +19,7 @@ from typing import Any
 
 from repro.atomicio import atomic_write_bytes as atomic_write_bytes
 from repro.atomicio import atomic_write_text as atomic_write_text
+from repro.core.health import HealthEvent
 from repro.core.types import AdaptivityMode
 from repro.jobs.hybrid import HybridSpec
 from repro.jobs.job import Job
@@ -160,6 +161,8 @@ def _round_to_dict(record: RoundRecord) -> dict[str, Any]:
         data["throughputs"] = dict(record.throughputs)
     if record.events:
         data["events"] = [e.to_dict() for e in record.events]
+    if record.health_events:
+        data["health_events"] = [e.to_dict() for e in record.health_events]
     return data
 
 
@@ -232,7 +235,9 @@ def load_result(path: str | Path) -> SimulationResult:
             realized=dict(item.get("realized", {})),
             throughputs=dict(item.get("throughputs", {})),
             events=[AllocationEvent.from_dict(e)
-                    for e in item.get("events", [])]))
+                    for e in item.get("events", [])],
+            health_events=[HealthEvent.from_dict(e)
+                           for e in item.get("health_events", [])]))
     return result
 
 
@@ -283,6 +288,52 @@ def load_ledger(path: str | Path,
     if not header_seen:
         raise ValueError(f"{path} is not a ledger JSONL (missing header)")
     return GoodputLedger(entries), events
+
+
+# -- health events (JSONL) ----------------------------------------------------
+
+def save_health_events(result: SimulationResult, path: str | Path) -> None:
+    """Export every node-health transition as JSONL: a header line plus one
+    ``health_event`` line per event, tagged with its round index.  This is
+    the CLI's ``--health-events-out`` format and the CI chaos artifact;
+    :func:`load_health_events` round-trips it."""
+    lines = [json.dumps({
+        "kind": "health_events", "format_version": FORMAT_VERSION,
+        "scheduler_name": result.scheduler_name,
+        "num_rounds": len(result.rounds),
+    })]
+    for index, rnd in enumerate(result.rounds):
+        for event in rnd.health_events:
+            # The event's own dict carries a "kind" (the transition kind),
+            # so it is nested rather than spread into the line.
+            lines.append(json.dumps({"kind": "health_event", "round": index,
+                                     "event": event.to_dict()}))
+    atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+def load_health_events(path: str | Path,
+                       ) -> list[tuple[int, HealthEvent]]:
+    """Read a ``--health-events-out`` JSONL file back into
+    ``(round_index, HealthEvent)`` pairs, in file order."""
+    events: list[tuple[int, HealthEvent]] = []
+    header_seen = False
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        item = json.loads(line)
+        kind = item.get("kind")
+        if kind == "health_events":
+            _check_payload(item, "health_events")
+            header_seen = True
+        elif kind == "health_event":
+            events.append((item["round"],
+                           HealthEvent.from_dict(item["event"])))
+        else:
+            raise ValueError(f"unknown health-event line kind {kind!r}")
+    if not header_seen:
+        raise ValueError(f"{path} is not a health-events JSONL "
+                         "(missing header)")
+    return events
 
 
 def _check_payload(payload: dict[str, Any], kind: str) -> None:

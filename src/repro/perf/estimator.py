@@ -23,6 +23,8 @@ Section 3.2:
 
 from __future__ import annotations
 
+import math
+import statistics
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,10 +74,30 @@ class _TypeState:
     #: bumped on every new observation for this type; cache entries that
     #: depended only on this type's fit revalidate against it.
     epoch: int = 0
+    #: per batch-plan key ``(num_gpus, num_nodes, local_bsz, accum_steps)``:
+    #: recently *accepted* iteration times — the MAD-defense window new
+    #: reports are judged against.
+    recent: dict[tuple, list[float]] = field(default_factory=dict)
 
 
 class JobPerfEstimator:
     """Goodput estimator for one job across all GPU types."""
+
+    #: observation-defense knobs (gray-failure hardening; class attrs so
+    #: tests and subclasses can tune them).  A report is rejected when it
+    #: is non-finite/non-positive, or — once ``OUTLIER_MIN_SAMPLES``
+    #: accepted reports exist for the same (gpu_type, batch-plan) key —
+    #: when it deviates from the window median by more than
+    #: ``OUTLIER_MAD_SIGMAS`` robust z-scores *and* more than
+    #: ``OUTLIER_RATIO_CAP``x.  The ratio guard keeps the defense honest
+    #: under near-zero observation noise (identical history -> MAD 0 ->
+    #: every deviation is "infinite sigmas"): execution-side slowdowns
+    #: like a 2x straggler must pass, while an 8x-scaled corrupt report
+    #: must not.
+    OUTLIER_MIN_SAMPLES = 4
+    OUTLIER_MAD_SIGMAS = 6.0
+    OUTLIER_RATIO_CAP = 3.0
+    OUTLIER_WINDOW = 16
 
     def __init__(self, model_name: str, constraints: JobConstraints,
                  gpu_types: tuple[str, ...],
@@ -104,6 +126,8 @@ class JobPerfEstimator:
         self._eff_epoch = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        #: reports the input defense refused to fold into any fit.
+        self.rejected_observations = 0
 
     # -- initialization ----------------------------------------------------
 
@@ -150,10 +174,28 @@ class JobPerfEstimator:
 
     # -- observation intake --------------------------------------------------
 
-    def add_observation(self, obs: Observation) -> None:
+    def add_observation(self, obs: Observation) -> bool:
+        """Fold one executor report into the fit state.
+
+        Returns True when accepted.  Input defense (gray-failure
+        hardening, independent of the health layer): non-finite or
+        non-positive iteration times are refused outright, and MAD-based
+        outliers against the recent accepted window for the same
+        (gpu_type, batch plan) are refused so one corrupt report cannot
+        poison a fit.  Rejected reports bump :attr:`rejected_observations`
+        and leave every cache epoch untouched.
+        """
         if obs.gpu_type not in self._types:
             raise KeyError(f"estimator does not track GPU type {obs.gpu_type!r}")
         state = self._types[obs.gpu_type]
+        if not self._observation_credible(state, obs):
+            self.rejected_observations += 1
+            return False
+        key = (obs.num_gpus, obs.num_nodes, obs.local_bsz, obs.accum_steps)
+        window = state.recent.setdefault(key, [])
+        window.append(obs.iter_time)
+        if len(window) > self.OUTLIER_WINDOW:
+            del window[0]
         state.observations.append(obs)
         state.dirty = True
         # Per-type invalidation: only entries whose cache token referenced
@@ -161,6 +203,27 @@ class JobPerfEstimator:
         # estimates) fail revalidation; everything else stays warm.
         state.epoch += 1
         self._obs_epoch += 1
+        return True
+
+    def _observation_credible(self, state: _TypeState,
+                              obs: Observation) -> bool:
+        iter_time = obs.iter_time
+        if not (isinstance(iter_time, (int, float))
+                and math.isfinite(iter_time) and iter_time > 0):
+            return False
+        window = state.recent.get((obs.num_gpus, obs.num_nodes,
+                                   obs.local_bsz, obs.accum_steps))
+        if window is None or len(window) < self.OUTLIER_MIN_SAMPLES:
+            return True
+        median = statistics.median(window)
+        mad = statistics.median(abs(x - median) for x in window)
+        # Floor the MAD so an identical-history window (MAD 0) does not
+        # make every deviation infinitely significant.
+        floor = max(mad, 1e-3 * median)
+        if abs(iter_time - median) <= self.OUTLIER_MAD_SIGMAS * floor:
+            return True
+        return (median / self.OUTLIER_RATIO_CAP <= iter_time
+                <= median * self.OUTLIER_RATIO_CAP)
 
     def update_gradient_stats(self, observed_noise_scale: float) -> None:
         """Fold a reported gradient-noise-scale measurement into the

@@ -155,6 +155,11 @@ class Scheduler(abc.ABC):
     #: (Section 4.3 gives Gavel measured throughputs), so their estimators
     #: run in Oracle mode regardless of the experiment's profiling mode.
     oracle_estimators: bool = False
+    #: per-GPU-type goodput discounts from the health layer (probation
+    #: nodes); injected each round by the engine / ResilientScheduler and
+    #: consumed by policies that support it (SiaPolicy).  ``None`` (or
+    #: ``{}``) means no discount — the default for every standalone use.
+    health_discounts: dict[str, float] | None = None
 
     @abc.abstractmethod
     def decide(self, views: list[JobView], cluster: Cluster,

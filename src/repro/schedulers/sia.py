@@ -34,6 +34,7 @@ class SiaScheduler(Scheduler):
         # span.  solve_time covers the whole plan path (phases sum to it).
         self.policy.tracer = self.tracer
         self.policy.metrics = self.metrics
+        self.policy.health_discounts = self.health_discounts
         with self.planning(views) as timer:
             if self._placer is None or self._placer.cluster is not cluster:
                 self._placer = Placer(cluster)

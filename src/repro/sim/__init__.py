@@ -8,8 +8,10 @@ from repro.sim.checkpoint import (CheckpointConfig, CheckpointCorruptError,
 from repro.sim.engine import Simulator, SimulatorConfig, simulate
 from repro.sim.executor import ExecutionModel, RoundExecution
 from repro.sim.faults import (CheckpointRestoreFaultModel, FaultContext,
-                              FaultModel, JobCrashModel, NodeCrashModel,
-                              StragglerModel)
+                              FaultModel, GrayFailureModel, JobCrashModel,
+                              NodeCrashModel, PlacementFailure,
+                              PlacementFailureModel, StragglerModel,
+                              TelemetryCorruptionModel)
 from repro.sim.invariants import (InvariantChecker, InvariantError,
                                   InvariantViolation)
 from repro.sim.telemetry import (FaultEvent, JobRecord, RoundRecord,
@@ -19,7 +21,8 @@ __all__ = [
     "Simulator", "SimulatorConfig", "simulate",
     "ExecutionModel", "RoundExecution",
     "FaultModel", "FaultContext", "NodeCrashModel", "StragglerModel",
-    "JobCrashModel", "CheckpointRestoreFaultModel",
+    "JobCrashModel", "CheckpointRestoreFaultModel", "GrayFailureModel",
+    "PlacementFailure", "PlacementFailureModel", "TelemetryCorruptionModel",
     "FaultEvent", "JobRecord", "RoundRecord", "SimulationResult",
     "CheckpointConfig", "CheckpointState", "CheckpointError",
     "CheckpointCorruptError", "write_checkpoint", "read_checkpoint",

@@ -93,7 +93,8 @@ def _filter_metrics(metrics: dict[str, float]) -> dict[str, float]:
 
 _ROUND_FIELDS = ("time", "active_jobs", "running_jobs", "allocations",
                  "gpus_used", "backend", "degraded", "fault_events",
-                 "estimates", "realized", "throughputs", "events")
+                 "estimates", "realized", "throughputs", "events",
+                 "health_events")
 
 
 def diff_rounds(ref: "RoundRecord", res: "RoundRecord",

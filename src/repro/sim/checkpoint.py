@@ -123,6 +123,10 @@ class CheckpointState:
     metrics: Any
     #: invariant checker mid-run state (None when checking is off).
     invariants: Any
+    #: node-health tracker mid-run state (None when the health layer is
+    #: off).  Defaults to None so pre-health checkpoints still load; the
+    #: engine rebuilds a fresh tracker in that case.
+    health: Any = None
     total_failures: int = 0
     caught_scheduler_failures: int = 0
     #: structural echo of the cluster, checked at resume time.

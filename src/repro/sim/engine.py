@@ -7,13 +7,17 @@ Time advances in scheduler rounds.  Each round:
 2. inject faults (:mod:`repro.sim.faults`): down nodes evict their jobs to
    the last epoch checkpoint, crashed jobs roll back in place, failed
    restores pay the restart delay again, stragglers slow the executor's
-   ground-truth rates;
+   ground-truth rates, gray nodes slow them *silently* (masked from
+   telemetry); then, when the health layer is on, advance the quarantine
+   state machine and filter excluded nodes from the scheduler's view;
 3. ask the scheduler for a :class:`~repro.schedulers.base.RoundPlan` over
    the surviving nodes (guarded by carry-forward when
    ``SimulatorConfig.resilient`` is set);
 4. apply allocation changes, charging model-specific checkpoint-restore
    delays (the paper replaced the original simulator's constant delay with
-   per-model delays — so do we);
+   per-model delays — so do we); gang launches are fallible — a flapped
+   placement holds its grant and pays a jittered capped backoff before
+   retrying;
 5. advance every running job: the executor picks a batch plan from the
    job's *estimated* models, but progress accrues at the *ground-truth*
    goodput of that plan;
@@ -29,10 +33,11 @@ active at the cap are reported as censored.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.cluster.cluster import Cluster
+from repro.core.health import HealthConfig, HealthTracker, placement_backoff
 from repro.core.resilience import carry_forward_plan
 from repro.core.types import Allocation, ProfilingMode
 from repro.jobs.job import Job
@@ -48,7 +53,8 @@ from repro.sim.executor import ExecutionModel, RoundExecution
 from repro.sim.faults import FaultContext, FaultModel, NodeCrashModel
 from repro.sim.invariants import MODES as INVARIANT_MODES
 from repro.sim.invariants import InvariantChecker
-from repro.sim.telemetry import JobRecord, RoundRecord, SimulationResult
+from repro.sim.telemetry import (FaultEvent, JobRecord, RoundRecord,
+                                 SimulationResult)
 
 
 @dataclass
@@ -94,6 +100,12 @@ class SimulatorConfig:
     #: 'off' (default), 'log' (record violations, keep running), or
     #: 'strict' (raise InvariantError on the first violation).
     invariants: str = "off"
+    #: gray-failure defense (:mod:`repro.core.health`): when set, a
+    #: HealthTracker scores nodes from realized-vs-estimated goodput and
+    #: placement-failure history, quarantines flaky nodes out of the
+    #: scheduler's cluster view, and discounts probation nodes' goodputs.
+    #: Its state (scores, backoffs) is part of the engine checkpoint.
+    health: HealthConfig | None = None
 
     def __post_init__(self) -> None:
         if self.invariants not in INVARIANT_MODES:
@@ -119,6 +131,9 @@ class _JobRuntime:
     #: True from a fault eviction/crash until the job holds GPUs again,
     #: so re-acquiring resources classifies as RESTART_AFTER_FAULT.
     lost_to_fault: bool = False
+    #: consecutive failed launch attempts (drives the placement-retry
+    #: backoff; reset by the first successful launch).
+    placement_failures: int = 0
     first_start: float | None = None
     finish_time: float | None = None
     gpu_seconds: dict[str, float] = field(default_factory=dict)
@@ -183,6 +198,12 @@ class Simulator:
         #: at the top of every round's fault pass, so it never needs to be
         #: checkpointed.
         self._round_speed: dict[str, float] = {}
+        #: per-round map node id -> silent gray-failure speed factor.  Also
+        #: reset every fault pass (never checkpointed); applied to the
+        #: executor's ground truth at advance time — by node, so migrating
+        #: off a gray node helps immediately — but masked from the
+        #: observations the estimator sees.
+        self._gray_nodes: dict[int, float] = {}
         self.total_failures = 0
         #: rounds rescued by the simulator's carry-forward guard.
         self.caught_scheduler_failures = 0
@@ -190,6 +211,10 @@ class Simulator:
         self._invariants: InvariantChecker | None = None
         if self.config.invariants != "off":
             self._invariants = InvariantChecker(mode=self.config.invariants)
+        #: gray-failure defense (None when config.health is unset).
+        self._health: HealthTracker | None = None
+        if self.config.health is not None:
+            self._health = HealthTracker(self.config.health)
         self._bind_observability()
         # Mutable loop state, held on the instance so checkpoints can
         # capture it and a restore can continue mid-run.
@@ -213,6 +238,16 @@ class Simulator:
         if self._invariants is not None:
             self._invariants.tracer = self.tracer
             self._invariants.metrics = self.metrics
+        if self._health is not None:
+            self._health.tracer = self.tracer
+            self._health.metrics = self.metrics
+        # A health-aware scheduler (ResilientScheduler) filters its own
+        # cluster view and forwards probation discounts; the engine still
+        # applies its view filter for every scheduler, so the quarantine
+        # invariant holds regardless.  Always (re)assigned so a restored
+        # scheduler never keeps a tracker this run's config disabled.
+        if hasattr(type(self.scheduler), "health"):
+            self.scheduler.health = self._health
 
     # -- main loop -------------------------------------------------------------
 
@@ -367,6 +402,7 @@ class Simulator:
             scheduler=self.scheduler,
             metrics=self.metrics,
             invariants=self._invariants,
+            health=self._health,
             total_failures=self.total_failures,
             caught_scheduler_failures=self.caught_scheduler_failures,
             cluster_signature=ckpt.cluster_signature(self.cluster),
@@ -408,6 +444,7 @@ class Simulator:
         self.total_failures = state.total_failures
         self.caught_scheduler_failures = state.caught_scheduler_failures
         self._round_speed = {}
+        self._gray_nodes = {}
         # The restored checker keeps its accumulated per-job tracking, but
         # this run's config decides whether (and how sternly) it is used.
         if self.config.invariants == "off":
@@ -416,6 +453,14 @@ class Simulator:
             self._invariants = state.invariants \
                 or InvariantChecker(mode=self.config.invariants)
             self._invariants.mode = self.config.invariants
+        # Same posture for the health tracker: its scores/backoffs resume
+        # from the checkpoint (bit-identical quarantine decisions), but
+        # only when this run's config keeps the layer on.
+        if self.config.health is None:
+            self._health = None
+        else:
+            self._health = getattr(state, "health", None) \
+                or HealthTracker(self.config.health)
         self._bind_observability()
         self.metrics.counter("checkpoint.restores").inc()
         self.tracer.instant("checkpoint_restore",
@@ -441,6 +486,31 @@ class Simulator:
         cluster_view, fault_events, fault_hit = \
             self._inject_faults(active, now, dt)
 
+        # 2b. gray-failure defense: advance the quarantine state machine,
+        # drain jobs still holding GPUs on a node that was just excluded
+        # (controlled checkpoint-off, classified as fault-caused), and hand
+        # the scheduler a view without quarantined/drained nodes plus the
+        # probation-node goodput discounts.
+        quarantined: frozenset[int] = frozenset()
+        if self._health is not None:
+            self._health.tick(now)
+            cluster_view = self._health.healthy_view(cluster_view)
+            quarantined = self._health.excluded_nodes()
+            if quarantined:
+                for job_id, rt in active.items():
+                    if rt.allocation is not None and any(
+                            nid in quarantined
+                            for nid in rt.allocation.node_ids):
+                        self._health.note_eviction(
+                            job_id, rt.allocation.node_ids, now)
+                        rt.allocation = None
+                        rt.restart_remaining = 0.0
+                        rt.num_restarts += 1
+                        rt.lost_to_fault = True
+                        fault_hit.add(job_id)
+            self.scheduler.health_discounts = \
+                self._health.type_discounts(cluster_view) or None
+
         # 3. scheduling decision over the surviving nodes (the scheduler
         # emits the plan span with its phase children)
         previous = {jid: rt.allocation for jid, rt in active.items()
@@ -460,8 +530,10 @@ class Simulator:
                                   error=type(exc).__name__):
                 plan = carry_forward_plan(previous, cluster_view, views)
 
-        # 4. apply allocation changes
+        # 4. apply allocation changes (fallible: a changed allocation is a
+        # gang launch that may flap — see 4b2)
         with self.tracer.span("apply"):
+            launch_attempts: list[tuple[str, Allocation]] = []
             for job_id, rt in active.items():
                 new = plan.allocations.get(job_id)
                 if new == rt.allocation:
@@ -472,6 +544,7 @@ class Simulator:
                     rt.restart_remaining = rt.job.restart_delay
                     if rt.first_start is None:
                         rt.first_start = now
+                    launch_attempts.append((job_id, new))
                 else:
                     # A stale restore delay must never leak into the job's
                     # next allocation.
@@ -493,6 +566,16 @@ class Simulator:
                             rt.restart_remaining += rt.job.restart_delay
                             rt.num_restarts += 1
                             fault_events.append(event)
+
+                # 4b2. fallible placements: a changed allocation may fail
+                # to start on its assigned GPUs.  The job keeps the grant
+                # but pays a jittered capped backoff (charged like restart
+                # delay) before the launch retries; repeated failures feed
+                # the node's health score.
+                if launch_attempts:
+                    launch_attempts.sort()
+                    self._sample_placement_failures(active, launch_attempts,
+                                                    now, fault_events)
 
         # 5. advance one round
         contention = len(active)
@@ -538,13 +621,23 @@ class Simulator:
                                               config.num_gpus)
                 record.gpus_used[config.gpu_type] = \
                     record.gpus_used.get(config.gpu_type, 0) + config.num_gpus
-                done, execution = self._advance(rt, now, dt)
+                done, execution = self._advance(rt, now, dt, fault_events)
                 # Ledger: the rates the executor actually delivered (zero
                 # for a round fully spent restoring or unable to run).
                 record.realized[job_id] = \
                     execution.goodput if execution is not None else 0.0
                 if execution is not None:
                     record.throughputs[job_id] = execution.throughput
+                    # Health evidence: realized vs estimated goodput for
+                    # every node the job ran on.  A gray node's masked
+                    # telemetry keeps the estimate high while delivery
+                    # sags — exactly the divergence scored here.
+                    if self._health is not None:
+                        estimate = record.estimates.get(job_id)
+                        if estimate:
+                            self._health.record_goodput(
+                                rt.allocation.node_ids, estimate,
+                                execution.goodput, now)
                 if done:
                     done_ids.append(job_id)
                     record.events.append(audit.AllocationEvent(
@@ -555,6 +648,17 @@ class Simulator:
                 finished.append(active.pop(job_id))
 
         self._update_metrics(record, plan)
+        if self._health is not None:
+            counts = self._health.state_counts()
+            self.metrics.gauge("health.probation_nodes") \
+                .set(counts.get("probation", 0))
+            self.metrics.gauge("health.quarantined_nodes") \
+                .set(counts.get("quarantined", 0))
+            self.metrics.gauge("health.drained_nodes") \
+                .set(counts.get("drained", 0))
+            # Drained every round, so the pending list is empty at every
+            # checkpoint boundary and resumes stay bit-identical.
+            record.health_events = self._health.drain_events()
         if self._invariants is not None:
             # Audit over the real engine state: still-active runtimes plus
             # the ones that finished this round (the tail of `finished`).
@@ -563,7 +667,8 @@ class Simulator:
                 round_index=round_index, cluster_view=cluster_view,
                 record=record,
                 runtimes=list(active.values()) + done_runtimes,
-                fault_hit=fault_hit, done_ids=done_ids)
+                fault_hit=fault_hit, done_ids=done_ids,
+                quarantined=quarantined)
         record.metrics = self.metrics.snapshot()
         return record
 
@@ -596,6 +701,7 @@ class Simulator:
         return (cluster view of surviving nodes, fault events, ids of jobs
         a fault evicted or crashed this round)."""
         self._round_speed = {}
+        self._gray_nodes = {}
         if not self._fault_models:
             return self.cluster, [], set()
         fault_hit: set[str] = set()
@@ -649,6 +755,13 @@ class Simulator:
                     if factor < 1.0:
                         self._round_speed[job_id] = factor
 
+            # Gray failures: kept per *node* (unlike the per-job straggler
+            # map) and resolved against each job's post-plan allocation at
+            # advance time, so a defense-driven migration off a gray node
+            # takes effect in the same round.
+            if ctx.gray_speed:
+                self._gray_nodes = dict(ctx.gray_speed)
+
             if not down:
                 return self.cluster, ctx.events, fault_hit
             up_nodes = tuple(n for n in self.cluster.nodes
@@ -687,8 +800,58 @@ class Simulator:
                 return estimator.best_plan(config.num_gpus, config.num_nodes)
         return None
 
-    def _advance(self, rt: _JobRuntime, now: float,
-                 dt: float) -> tuple[bool, RoundExecution | None]:
+    def _sample_placement_failures(self, active: dict[str, _JobRuntime],
+                                   attempts: list[tuple[str, Allocation]],
+                                   now: float, fault_events: list) -> None:
+        """4b2: draw placement flaps from every model and charge backoffs."""
+        failures = []
+        for model in self._fault_models:
+            failures.extend(model.sample_placement_failures(attempts, now))
+        failed: set[str] = set()
+        hcfg = self.config.health
+        for failure in failures:
+            rt = active[failure.job_id]
+            failed.add(failure.job_id)
+            rt.placement_failures += 1
+            if hcfg is not None:
+                delay = placement_backoff(rt.placement_failures,
+                                          failure.job_id,
+                                          base_s=hcfg.backoff_base_s,
+                                          cap_s=hcfg.backoff_cap_s,
+                                          jitter=hcfg.backoff_jitter)
+            else:
+                delay = placement_backoff(rt.placement_failures,
+                                          failure.job_id)
+            # Charged like a restart: the GPUs are held but idle while the
+            # retry backs off.
+            rt.restart_remaining += delay
+            self.metrics.counter("placement.retries").inc()
+            fault_events.append(FaultEvent(
+                kind="placement_failure", time=now,
+                target=f"job:{failure.job_id}",
+                detail=f"launch failed on node {failure.node_id}; "
+                       f"retrying in {delay:.0f}s "
+                       f"(attempt {rt.placement_failures})"))
+            if self._health is not None:
+                self._health.record_placement_failure(
+                    failure.job_id, failure.node_id, now)
+        for job_id, allocation in attempts:
+            if job_id in failed:
+                continue
+            rt = active[job_id]
+            rt.placement_failures = 0
+            if self._health is not None:
+                self._health.record_placement_success(allocation.node_ids)
+
+    def _gray_factor(self, allocation: Allocation | None) -> float:
+        """Silent slowdown for a job: gated by its slowest gray node."""
+        if not self._gray_nodes or allocation is None:
+            return 1.0
+        return min((self._gray_nodes.get(nid, 1.0)
+                    for nid in allocation.node_ids), default=1.0)
+
+    def _advance(self, rt: _JobRuntime, now: float, dt: float,
+                 fault_events: list) -> tuple[bool, RoundExecution | None]:
         """Run one round for a job holding resources.
 
         Returns ``(finished, execution)`` where ``execution`` carries the
@@ -705,8 +868,9 @@ class Simulator:
             rt.charge_gpus(dt)
             return False, None
         speed = self._round_speed.get(rt.job.job_id, 1.0)
+        gray = self._gray_factor(rt.allocation)
         execution = self._execution.execute(rt.job, rt.allocation, plan,
-                                            speed=speed)
+                                            speed=speed * gray)
         if execution is None or execution.goodput <= 0:
             rt.charge_gpus(dt)
             return False, None
@@ -720,12 +884,39 @@ class Simulator:
             return True, execution
 
         rt.charge_gpus(dt)
-        # online refinement: the executor reports this round's measurements
-        rt.estimator.add_observation(
-            self._execution.observe(rt.job, rt.allocation, execution))
+        self._report_observation(rt, execution, gray, now, fault_events)
+        return False, execution
+
+    def _report_observation(self, rt: _JobRuntime,
+                            execution: RoundExecution, gray: float,
+                            now: float, fault_events: list) -> None:
+        """Online refinement (Figure 3) with the gray/telemetry pipeline in
+        between: mask gray slowdowns (the sick node reports nominal-looking
+        iteration times), pass the report through every model's corruption
+        tap, and count reports the estimator's defense rejected."""
+        obs = self._execution.observe(rt.job, rt.allocation, execution)
+        if gray < 1.0 and hasattr(obs, "iter_time"):
+            # Undo the slowdown in the *observation only*, so realized
+            # goodput (the ledger) diverges from what telemetry claims —
+            # the signal repro.core.health scores nodes by.  The visible
+            # straggler part of the slowdown stays in the report.
+            obs = replace(obs, iter_time=obs.iter_time * gray)
+        delivered = [obs]
+        if self._fault_models:
+            for model in self._fault_models:
+                passed: list = []
+                for item in delivered:
+                    out, events = model.corrupt_observation(
+                        rt.job.job_id, item, now)
+                    passed.extend(out)
+                    fault_events.extend(events)
+                delivered = passed
+        for item in delivered:
+            accepted = rt.estimator.add_observation(item)
+            if accepted is False:
+                self.metrics.counter("telemetry.rejected_observations").inc()
         rt.estimator.update_gradient_stats(
             self._execution.observed_noise_scale(rt.job))
-        return False, execution
 
     def _record(self, rt: _JobRuntime) -> JobRecord:
         profiling = getattr(rt.estimator, "profiling_gpu_seconds", 0.0)

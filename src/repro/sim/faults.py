@@ -28,11 +28,24 @@ Built-in models:
   charge a restart, without taking any node down.
 * :class:`CheckpointRestoreFaultModel` — a restore attempt fails partway
   and the job pays the full restart delay again.
+
+Gray failures (everything above is binary and fully observable; real
+clusters also fail *gray* — see :mod:`repro.core.health` for the defense):
+
+* :class:`GrayFailureModel` — a node's executor silently degrades: jobs on
+  it run slower, but the reported iteration times are masked back to
+  nominal, so the degradation is invisible to the estimator and only shows
+  up as realized-vs-estimated goodput divergence.
+* :class:`PlacementFailureModel` — an applied allocation fails to start on
+  its assigned GPUs with a per-node probability (gang-launch flap); the
+  engine retries with a jittered capped backoff.
+* :class:`TelemetryCorruptionModel` — throughput observations are dropped,
+  duplicated, scaled, or staled before reaching the estimator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -60,6 +73,12 @@ class FaultContext:
     down_until: dict[int, float] = field(default_factory=dict)
     #: node id -> multiplicative speed factor in (0, 1]; absent means 1.0.
     node_speed: dict[int, float] = field(default_factory=dict)
+    #: node id -> *silent* speed factor in (0, 1]; absent means 1.0.  Unlike
+    #: ``node_speed`` (stragglers, visible to telemetry), gray slowdowns are
+    #: applied to the executor's ground truth but masked from the
+    #: observations the estimator sees, and they follow the round's *new*
+    #: allocation so migrating off a sick node takes effect immediately.
+    gray_speed: dict[int, float] = field(default_factory=dict)
     #: jobs that suffer a transient crash this round.
     crashed_jobs: set[str] = field(default_factory=set)
     events: list[FaultEvent] = field(default_factory=list)
@@ -81,6 +100,21 @@ class FaultContext:
             return 1.0
         return min((self.node_speed.get(nid, 1.0)
                     for nid in allocation.node_ids), default=1.0)
+
+    def gray_slow_node(self, node_id: int, factor: float) -> None:
+        """Merge a silent slowdown; overlapping ones keep the worst."""
+        current = self.gray_speed.get(node_id, 1.0)
+        self.gray_speed[node_id] = min(current, factor)
+
+
+@dataclass(frozen=True)
+class PlacementFailure:
+    """One failed gang launch: ``job_id``'s new allocation did not come up
+    because ``node_id`` flapped.  The engine charges the retry backoff and
+    builds the telemetry event; the model only attributes the failure."""
+
+    job_id: str
+    node_id: int
 
 
 class FaultModel:
@@ -126,6 +160,27 @@ class FaultModel:
         event per failed restore attempt; the engine charges the job the
         full restart delay again (override)."""
         return []
+
+    def sample_placement_failures(
+            self, attempts: list[tuple[str, Allocation]],
+            now: float) -> list[PlacementFailure]:
+        """Called during the apply step with this round's launch attempts —
+        ``(job_id, allocation)`` pairs whose allocation changed to a new
+        non-``None`` placement, sorted by job id.  Return one
+        :class:`PlacementFailure` per launch that flaps; the engine holds
+        the grant, charges a jittered capped backoff on top of the restore
+        delay, and feeds the node's health score (override)."""
+        return []
+
+    def corrupt_observation(self, job_id: str, obs,  # type: ignore[no-untyped-def]
+                            now: float):
+        """Telemetry tap: called for every throughput observation on its
+        way to the estimator.  Return ``(delivered, events)`` where
+        ``delivered`` is the list of observations that actually arrive
+        (empty = dropped, two copies = duplicated, mutated = corrupted)
+        and ``events`` lists one :class:`FaultEvent` per corruption
+        (override).  The default passes the observation through."""
+        return [obs], []
 
     def revive(self, node_id: int) -> None:
         """Forget any outage for ``node_id`` (degenerate all-down rescue)."""
@@ -275,3 +330,149 @@ class CheckpointRestoreFaultModel(FaultModel):
                            detail="restore failed; paying restart delay again")
                 for job_id in restoring
                 if self.rng.random() < self.failure_prob]
+
+
+class GrayFailureModel(FaultModel):
+    """Silent executor degradation: the node lies about being healthy.
+
+    Each up node enters a gray episode with probability ``rate * dt / 3600``
+    per round and runs at ``slowdown`` of nominal speed for ``duration``
+    seconds.  Unlike :class:`StragglerModel`, the slowdown is *masked from
+    telemetry*: the engine slows the executor's ground truth but rescales
+    the reported iteration times back to nominal, so the estimator keeps
+    believing the node is fine.  The only footprint is realized goodput
+    falling below the scheduler's estimate — the divergence
+    :class:`repro.core.health.HealthTracker` scores nodes by.
+    """
+
+    kind = "gray_failure"
+
+    def __init__(self, rate: float = 0.2, slowdown: float = 0.35,
+                 duration: float = 7200.0, seed: int | None = None):
+        if rate < 0:
+            raise ValueError("gray failure rate must be non-negative")
+        if not 0 < slowdown <= 1:
+            raise ValueError("slowdown must be in (0, 1]")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.rate = rate
+        self.slowdown = slowdown
+        self.duration = duration
+        self._slow_until: dict[int, float] = {}
+        super().__init__(seed)
+
+    def reset(self) -> None:
+        self._slow_until = {}
+
+    def sample(self, ctx: FaultContext) -> None:
+        self._slow_until = {nid: t for nid, t in self._slow_until.items()
+                            if t > ctx.now}
+        prob = self._per_round_prob(self.rate, ctx.dt)
+        if prob > 0:
+            for node in ctx.cluster.nodes:
+                if node.node_id in self._slow_until:
+                    continue
+                if self.rng.random() < prob:
+                    self._slow_until[node.node_id] = ctx.now + self.duration
+                    ctx.events.append(FaultEvent(
+                        kind=self.kind, time=ctx.now,
+                        target=f"node:{node.node_id}",
+                        detail=f"silent slowdown x{self.slowdown:.2f} "
+                               f"for {self.duration:.0f}s "
+                               "(masked from telemetry)"))
+        for node_id in self._slow_until:
+            ctx.gray_slow_node(node_id, self.slowdown)
+
+
+class PlacementFailureModel(FaultModel):
+    """Gang launches that flap: a changed allocation fails to start.
+
+    Every node of every launch attempt is drawn independently with
+    probability ``failure_prob`` (a fixed number of draws per attempt, so
+    the RNG stream does not depend on outcomes); the first failing node is
+    blamed.  The engine keeps the grant, charges a jittered capped backoff
+    on top of the restore delay, and feeds the health tracker.
+    """
+
+    kind = "placement_failure"
+
+    def __init__(self, failure_prob: float = 0.1, seed: int | None = None):
+        if not 0 <= failure_prob < 1:
+            raise ValueError("failure_prob must be in [0, 1)")
+        self.failure_prob = failure_prob
+        super().__init__(seed)
+
+    def sample_placement_failures(
+            self, attempts: list[tuple[str, Allocation]],
+            now: float) -> list[PlacementFailure]:
+        if self.failure_prob <= 0:
+            return []
+        failures: list[PlacementFailure] = []
+        for job_id, allocation in attempts:
+            failed_node: int | None = None
+            for node_id in sorted(set(allocation.node_ids)):
+                if self.rng.random() < self.failure_prob \
+                        and failed_node is None:
+                    failed_node = node_id
+            if failed_node is not None:
+                failures.append(PlacementFailure(job_id=job_id,
+                                                 node_id=failed_node))
+        return failures
+
+
+class TelemetryCorruptionModel(FaultModel):
+    """Throughput reports mangled on the way to the estimator.
+
+    With probability ``rate`` per observation, the report is (uniformly)
+    dropped, duplicated, scaled by ``scale_factor`` or its inverse
+    (occasionally corrupted to NaN outright), or replaced by a stale replay
+    of the job's previous report.  Scaled/NaN reports are what the
+    estimator's MAD/finite defense must catch; drops and duplicates are
+    survivable noise; stale replays look plausible and slip through —
+    which is fine, they carry old but truthful information.
+    """
+
+    kind = "telemetry"
+
+    def __init__(self, rate: float = 0.1, scale_factor: float = 8.0,
+                 seed: int | None = None):
+        if not 0 <= rate <= 1:
+            raise ValueError("corruption rate must be in [0, 1]")
+        if scale_factor <= 1:
+            raise ValueError("scale_factor must exceed 1")
+        self.rate = rate
+        self.scale_factor = scale_factor
+        self._last: dict[str, object] = {}
+        super().__init__(seed)
+
+    def reset(self) -> None:
+        self._last = {}
+
+    def corrupt_observation(self, job_id: str, obs, now: float):
+        last = self._last.get(job_id)
+        self._last[job_id] = obs
+        if self.rate <= 0 or self.rng.random() >= self.rate:
+            return [obs], []
+
+        def event(detail: str) -> FaultEvent:
+            return FaultEvent(kind=self.kind, time=now,
+                              target=f"job:{job_id}", detail=detail)
+
+        mode = self.rng.random()
+        if mode < 0.25:
+            return [], [event("observation dropped")]
+        if mode < 0.5:
+            return [obs, obs], [event("observation duplicated")]
+        if mode < 0.75:
+            direction = self.rng.random()
+            if direction < 0.1:
+                return ([replace(obs, iter_time=float("nan"))],
+                        [event("iter_time corrupted to nan")])
+            factor = (self.scale_factor if direction < 0.55
+                      else 1.0 / self.scale_factor)
+            return ([replace(obs, iter_time=obs.iter_time * factor)],
+                    [event(f"iter_time scaled x{factor:g}")])
+        if last is None:
+            # Nothing to replay yet; the report goes through untouched.
+            return [obs], []
+        return [last], [event("stale observation replayed")]

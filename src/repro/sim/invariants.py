@@ -17,7 +17,9 @@ after each round, over the engine's real state (runtimes + the just-built
   rolled back to their epoch checkpoint this round;
 * **ledger** — the round record is internally consistent: ``running_jobs``
   equals the allocation count, realized goodputs cover exactly the
-  allocated jobs and are non-negative, and estimates refer to active jobs.
+  allocated jobs and are non-negative, and estimates refer to active jobs;
+* **quarantine** — no allocation touches a node the health layer has
+  quarantined or drained this round (gray-failure defense).
 
 Two modes: ``strict`` raises :class:`InvariantError` on the first
 violation (tests, CI); ``log`` records violations — tracer instant,
@@ -90,19 +92,22 @@ class InvariantChecker:
 
     def check_round(self, *, round_index: int, cluster_view: "Cluster",
                     record: "RoundRecord", runtimes: Iterable,
-                    fault_hit: set[str], done_ids: list[str]) -> None:
+                    fault_hit: set[str], done_ids: list[str],
+                    quarantined: frozenset[int] = frozenset()) -> None:
         """Audit one completed round.
 
         ``runtimes`` iterates every runtime the round touched — still-active
         jobs plus the ones that finished this round (``done_ids``);
         ``cluster_view`` is the surviving-node view the round was planned
-        over; ``fault_hit`` holds jobs a fault rolled back this round.
+        over; ``fault_hit`` holds jobs a fault rolled back this round;
+        ``quarantined`` lists nodes the health layer excluded this round.
         """
         runtimes = list(runtimes)
         self._check_capacity(round_index, cluster_view, record, runtimes)
         self._check_state_machine(round_index, record, runtimes, done_ids)
         self._check_progress(round_index, runtimes, fault_hit, done_ids)
         self._check_ledger(round_index, record, runtimes)
+        self._check_quarantine(round_index, runtimes, quarantined)
 
     # -- individual invariants -------------------------------------------------
 
@@ -195,6 +200,20 @@ class InvariantChecker:
             self._violate(round_index, "ledger",
                           f"estimates recorded for non-active jobs "
                           f"{sorted(stray)}")
+
+    def _check_quarantine(self, round_index: int, runtimes: list,
+                          quarantined: frozenset[int]) -> None:
+        if not quarantined:
+            return
+        for rt in runtimes:
+            alloc = rt.allocation
+            if alloc is None:
+                continue
+            held = set(alloc.node_ids) & set(quarantined)
+            if held:
+                self._violate(round_index, "quarantine",
+                              f"job {rt.job.job_id} allocated on "
+                              f"quarantined/drained node(s) {sorted(held)}")
 
     # -- violation sink --------------------------------------------------------
 

@@ -116,6 +116,10 @@ class RoundRecord:
     #: classified allocation-change events that took effect this round
     #: (admit/scale/migrate/preempt/resume/restart/finish).
     events: list[AllocationEvent] = field(default_factory=list)
+    #: node-health state transitions (probation/quarantine/reinstate/
+    #: recover/drain/evict) the health tracker emitted this round
+    #: (:class:`repro.core.health.HealthEvent`; empty without the layer).
+    health_events: list = field(default_factory=list)
 
 
 @dataclass
@@ -277,3 +281,21 @@ class SimulationResult:
     def fault_timeline(self) -> list[FaultEvent]:
         """Every injected fault in simulation-time order."""
         return [event for rnd in self.rounds for event in rnd.fault_events]
+
+    def health_timeline(self) -> list:
+        """Every node-health transition in simulation-time order, as
+        ``(round_index, HealthEvent)`` pairs — the same shape
+        :func:`repro.io.load_health_events` reads back."""
+        return [(index, event) for index, rnd in enumerate(self.rounds)
+                for event in rnd.health_events]
+
+    def health_counts(self) -> dict[str, int]:
+        """Gray-failure defense counters — health transitions by kind,
+        placement retries, telemetry rejections — from the final metrics
+        snapshot (``health.*``, ``placement.*``, ``telemetry.*``).
+        Populated on live results and io-loaded ones alike."""
+        out: dict[str, int] = {}
+        for key, value in self.final_metrics.items():
+            if key.startswith(("health.", "placement.", "telemetry.")):
+                out[key] = int(value)
+        return out

@@ -96,6 +96,33 @@ class TestRun:
         assert "avg_jct_h" in capsys.readouterr().out
 
 
+class TestGrayFlags:
+    def test_gray_run_writes_health_events(self, tmp_path, capsys):
+        out = tmp_path / "gray.json"
+        events_path = tmp_path / "health.jsonl"
+        code = main(["run", "--scheduler", "sia", "--trace-name", "philly",
+                     "--num-jobs", "4", "--work-scale", "0.4",
+                     "--profiling-mode", "oracle", "--seed", "4",
+                     "--max-hours", "100",
+                     "--gray-rate", "20", "--gray-slowdown", "0.3",
+                     "--gray-duration", "14400", "--health",
+                     "--health-events-out", str(events_path),
+                     "--invariants", "strict", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "health:" in printed and "gray_failure" in printed
+        result = io.load_result(out)
+        assert result.health_counts().get("health.quarantine", 0) > 0
+        assert io.load_health_events(events_path) == result.health_timeline()
+
+    def test_gray_flag_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.gray_rate == 0.0
+        assert args.placement_fail_prob == 0.0
+        assert args.telemetry_corrupt_rate == 0.0
+        assert not args.health
+
+
 class TestChaosCommand:
     def test_chaos_equivalence_exit_code(self, tmp_path, capsys):
         code = main(["chaos", "--trace-name", "philly", "--num-jobs", "4",
@@ -106,6 +133,14 @@ class TestChaosCommand:
                      "--invariants", "strict", "--corrupt-latest"])
         assert code == 0
         assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_gray_scenario_exit_code(self, tmp_path, capsys):
+        code = main(["chaos", "--scenario", "gray",
+                     "--checkpoint-dir", str(tmp_path / "chaos-gray")])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "EQUIVALENT" in captured.out
+        assert "scenario=gray" in captured.err
 
 
 class TestCompare:

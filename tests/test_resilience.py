@@ -57,7 +57,8 @@ class TestResilientSolver:
             raise RuntimeError("injected MILP failure")
         monkeypatch.setattr(ilp, "_solve_milp", boom)
         solver = ResilientSolver(ResilienceConfig(breaker_threshold=2,
-                                                  breaker_cooldown_rounds=3))
+                                                  breaker_cooldown_rounds=3,
+                                                  retry_primary=False))
         p = problem()
         solver.solve(p)            # failure 1
         solver.solve(p)            # failure 2 -> breaker trips
@@ -242,7 +243,8 @@ class TestSolverExhaustedChain:
                 raise RuntimeError("injected")
             return real(problem, time_limit=time_limit)
         monkeypatch.setattr(ilp, "_solve_milp", flaky)
-        params = SiaPolicyParams(resilience=ResilienceConfig())
+        params = SiaPolicyParams(
+            resilience=ResilienceConfig(retry_primary=False))
         sched = ResilientScheduler(SiaScheduler(params))
         jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.3)]
         result = simulate(hetero_cluster, sched, jobs, max_hours=100)
@@ -253,6 +255,95 @@ class TestSolverExhaustedChain:
         assert result.rounds[-1].metrics.get("resilience.backend.greedy",
                                              0) > 0
         # ... and survive a save/load round trip
+        path = tmp_path / "res.json"
+        io.save_result(result, path)
+        assert io.load_result(path).resilience_counts() == counts
+
+
+class TestPrimaryRetry:
+    """The relaxed-budget retry (gray-failure hardening): a transient
+    primary failure gets one more chance before the chain degrades."""
+
+    def test_retry_rescues_transient_failure(self, monkeypatch):
+        real = ilp._solve_milp
+        calls = {"n": 0}
+
+        def once(problem, time_limit=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected")
+            return real(problem, time_limit=time_limit)
+        monkeypatch.setattr(ilp, "_solve_milp", once)
+        solver = ResilientSolver()
+        solution, backend, degraded = solver.solve(problem())
+        assert backend == "milp" and degraded
+        assert solution.assignment
+        assert solver.retries == 1
+        assert solver.attempt_outcomes == {"milp.error": 1, "milp.ok": 1}
+        # The rescued round does not advance the breaker.
+        assert solver._consecutive_failures == 0
+
+    def test_retry_budget_is_relaxed_and_deterministic(self):
+        cfg = ResilienceConfig(solve_budget_s=2.0, retry_budget_factor=2.0,
+                               retry_jitter=0.25)
+        solver_a = ResilientSolver(cfg)
+        solver_b = ResilientSolver(cfg)
+        # The jitter token is the retry ordinal: identical histories yield
+        # identical relaxed budgets (checkpoint resumes replay them).
+        from repro.core.health import deterministic_jitter
+        for solver in (solver_a, solver_b):
+            solver.retries += 1
+        jitter = deterministic_jitter("solver-retry:1", cfg.retry_jitter)
+        relaxed = cfg.solve_budget_s * cfg.retry_budget_factor * (1 + jitter)
+        assert relaxed >= 4.0
+        assert solver_a.retries == solver_b.retries
+
+    def test_greedy_primary_never_retries(self, monkeypatch):
+        calls = {"n": 0}
+
+        def boom(*args, **kwargs):
+            calls["n"] += 1
+            raise RuntimeError("injected")
+        monkeypatch.setattr(ilp, "_solve_greedy", boom)
+        solver = ResilientSolver()
+        with pytest.raises(SolverExhaustedError):
+            solver.solve(problem(), primary="greedy")
+        assert calls["n"] == 1  # no second greedy attempt
+        assert solver.retries == 0
+
+    def test_one_breaker_failure_per_solve(self, monkeypatch):
+        def boom(problem, time_limit=None):
+            raise RuntimeError("injected")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        solver = ResilientSolver(ResilienceConfig(breaker_threshold=3))
+        p = problem()
+        solver.solve(p)  # error + retry error + greedy rescue
+        assert solver._consecutive_failures == 1
+        assert solver.attempt_outcomes["milp.error"] == 2
+        assert solver.attempt_outcomes["greedy.ok"] == 1
+
+    def test_attempt_outcomes_persist_through_io(self, monkeypatch,
+                                                 hetero_cluster, tmp_path):
+        """Satellite 2: per-attempt outcomes flow into the metrics registry
+        and survive a save/load round trip."""
+        from repro import io
+        real = ilp._solve_milp
+        calls = {"n": 0}
+
+        def flaky(problem, time_limit=None):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise RuntimeError("injected")
+            return real(problem, time_limit=time_limit)
+        monkeypatch.setattr(ilp, "_solve_milp", flaky)
+        params = SiaPolicyParams(resilience=ResilienceConfig())
+        sched = ResilientScheduler(SiaScheduler(params))
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.3)]
+        result = simulate(hetero_cluster, sched, jobs, max_hours=100)
+        counts = result.resilience_counts()
+        assert counts.get("resilience.attempt.milp.ok", 0) > 0
+        assert counts.get("resilience.attempt.milp.error", 0) > 0
+        assert counts.get("resilience.primary_retries", 0) > 0
         path = tmp_path / "res.json"
         io.save_result(result, path)
         assert io.load_result(path).resilience_counts() == counts
@@ -390,7 +481,8 @@ class TestChaos:
         params = SiaPolicyParams(
             resilience=ResilienceConfig(solve_budget_s=5.0,
                                         breaker_threshold=3,
-                                        breaker_cooldown_rounds=5))
+                                        breaker_cooldown_rounds=5,
+                                        retry_primary=False))
         scheduler = ResilientScheduler(SiaScheduler(params))
         jobs = [make_job(f"j{i}", "resnet18", 0.0, work_scale=0.4)
                 for i in range(4)]
