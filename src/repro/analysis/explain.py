@@ -13,6 +13,7 @@ loaded from JSON via :mod:`repro.io`; the CLI exposes it as
 from __future__ import annotations
 
 from repro.obs.audit import events_for_job
+from repro.obs.diff import RunDiff
 from repro.obs.ledger import GoodputLedger, queue_wait_by_job
 from repro.sim.telemetry import JobRecord, SimulationResult
 
@@ -136,9 +137,85 @@ def _round_detail(result: SimulationResult, ledger: GoodputLedger,
     return lines
 
 
+def _fmt_alloc(alloc: "tuple[str, int] | None") -> str:
+    return f"{alloc[1]}x {alloc[0]}" if alloc else "-"
+
+
+def _counterfactual_lines(diff: RunDiff, job_id: str) -> list[str]:
+    """Header block comparing this job's two futures (base vs fork)."""
+    over = ", ".join(f"{k}={v}" for k, v in diff.overrides.items()) \
+        or "none (identity fork)"
+    lines = ["",
+             f"  counterfactual: forked at round {diff.fork_round} under "
+             f"{diff.fork_scheduler} (overrides: {over})"]
+    if diff.identical:
+        lines.append("  the fork reproduced this run exactly — the two "
+                     "futures do not differ")
+        return lines
+    if diff.divergence is not None:
+        d = diff.divergence
+        lines.append(f"  futures diverged at round {d.round_index} "
+                     f"(t={_hms(d.time)}): {d.reason}")
+    vals = diff.job_deltas.get(job_id)
+    if vals:
+        base_jct, fork_jct = vals.get("base_jct"), vals.get("fork_jct")
+        if base_jct is not None or fork_jct is not None:
+            base_s = _hms(base_jct * 3600) if base_jct is not None \
+                else "did not finish"
+            fork_s = _hms(fork_jct * 3600) if fork_jct is not None \
+                else "did not finish"
+            lines.append(f"  JCT: {base_s} (base) vs {fork_s} (fork)")
+        base_w, fork_w = vals.get("base_queue_wait"), \
+            vals.get("fork_queue_wait")
+        if base_w is not None and fork_w is not None \
+                and (base_w or fork_w):
+            lines.append(f"  queued: {_hms(base_w)} (base) vs "
+                         f"{_hms(fork_w)} (fork)")
+    return lines
+
+
+def _annotate_counterfactual(rows: list[dict[str, str]],
+                             result: SimulationResult, diff: RunDiff,
+                             job_id: str) -> list[dict[str, str]]:
+    """Add a ``fork`` column to the timeline: what the alternate future
+    gave this job wherever it differs ('=' where both futures agree, '.'
+    on shared history before the fork round).  Rounds only the fork ran
+    (a longer alternate future) are appended as extra rows."""
+    changes = diff.job_changes(job_id)
+    for row in rows:
+        index = int(row["round"])
+        if index in changes:
+            change = changes[index]
+            row["fork"] = _fmt_alloc(change.fork) \
+                + (f" [{change.kind}]" if change.kind else "")
+        elif index < diff.fork_round:
+            row["fork"] = "."
+        else:
+            row["fork"] = "="
+    for index in sorted(changes):
+        if index < len(result.rounds):
+            continue
+        rnd = next((r for r in diff.round_deltas
+                    if r.round_index == index), None)
+        change = changes[index]
+        rows.append({"round": str(index),
+                     "t": _hms(rnd.time) if rnd else "-",
+                     "alloc": "-", "est": "-", "realized": "-",
+                     "err%": "-", "event": "(fork only)",
+                     "fork": _fmt_alloc(change.fork)
+                     + (f" [{change.kind}]" if change.kind else "")})
+    return rows
+
+
 def explain_job(result: SimulationResult, job_id: str,
-                round_index: int | None = None) -> str:
+                round_index: int | None = None,
+                counterfactual: RunDiff | None = None) -> str:
     """Render a job's decision timeline (or one round of it) as text.
+
+    ``counterfactual`` annotates the timeline with the alternate future
+    from a :class:`~repro.obs.diff.RunDiff` (``repro explain
+    --counterfactual diff.json``): a ``fork`` column showing where the two
+    futures differ, plus a base-vs-fork JCT/queue-wait header.
 
     Raises ``KeyError`` for an unknown job and ``IndexError`` for an
     out-of-range round, so the CLI can turn both into clean errors.
@@ -147,15 +224,30 @@ def explain_job(result: SimulationResult, job_id: str,
     ledger = GoodputLedger.from_result(result)
     queue_wait = queue_wait_by_job(result).get(job_id, 0.0)
     lines = _header_lines(result, record, queue_wait)
+    if counterfactual is not None:
+        lines.extend(_counterfactual_lines(counterfactual, job_id))
     lines.append("")
     if round_index is not None:
         lines.extend(_round_detail(result, ledger, job_id, round_index))
-    else:
-        lines.extend(_format_rows(_round_rows(result, ledger, job_id)))
-        errors = ledger.error_series(job_id)
-        if len(errors) >= 2:
-            first, last = errors[0][1], errors[-1][1]
-            lines.append("")
-            lines.append(f"  estimation error went {100 * first:.1f}% -> "
-                         f"{100 * last:.1f}% over the job's lifetime")
+        return "\n".join(lines)
+    rows = _round_rows(result, ledger, job_id)
+    if counterfactual is not None:
+        rows = _annotate_counterfactual(rows, result, counterfactual,
+                                        job_id)
+    if not rows and record.first_start is None:
+        # Censored before admission: there is no timeline to print — say
+        # so cleanly instead of showing an empty/garbled table.
+        reason = "the simulation ended while it was still queued" \
+            if record.submit_time <= result.end_time \
+            else "it was submitted after the simulation ended"
+        lines.append(f"  queued, never admitted: {reason}; no allocation "
+                     "rounds to show")
+        return "\n".join(lines)
+    lines.extend(_format_rows(rows))
+    errors = ledger.error_series(job_id)
+    if len(errors) >= 2:
+        first, last = errors[0][1], errors[-1][1]
+        lines.append("")
+        lines.append(f"  estimation error went {100 * first:.1f}% -> "
+                     f"{100 * last:.1f}% over the job's lifetime")
     return "\n".join(lines)

@@ -17,6 +17,8 @@ from repro.metrics.fairness import fairness_metrics
 from repro.metrics.jct import gpu_hours_by_model, percentile, summarize
 from repro.metrics.utilization import average_utilization
 from repro.obs.audit import event_counts, migration_flows
+from repro.obs.diff import RunDiff
+from repro.obs.export import run_diff_markdown
 from repro.obs.ledger import GoodputLedger, queue_wait_by_job
 from repro.sim.telemetry import SimulationResult
 
@@ -120,14 +122,24 @@ def decision_digest_section(result: SimulationResult) -> str:
     return "\n".join(parts)
 
 
+def counterfactual_section(diff: RunDiff) -> str:
+    """Decision-diff section for a counterfactual replay (``repro report
+    ... --diff diff.json``): the rendered RunDiff — overrides, divergence
+    point, outcome deltas, and per-round allocation changes."""
+    return run_diff_markdown(diff)
+
+
 def build_report(results: list[SimulationResult], *,
                  title: str = "Simulation report",
                  jobs: list[Job] | None = None,
-                 cluster: Cluster | None = None) -> str:
+                 cluster: Cluster | None = None,
+                 diffs: list[RunDiff] | None = None) -> str:
     """Assemble the full markdown report.
 
     ``jobs``/``cluster`` are optional: fairness needs the original job
-    objects and cluster, which saved results do not carry.
+    objects and cluster, which saved results do not carry.  ``diffs``
+    appends one counterfactual decision-diff section per
+    :class:`~repro.obs.diff.RunDiff` (from ``repro replay --diff-out``).
     """
     if not results:
         raise ValueError("need at least one result")
@@ -153,4 +165,7 @@ def build_report(results: list[SimulationResult], *,
         if result.node_failures:
             parts.append(f"Worker failures injected: "
                          f"{result.node_failures}\n")
+    for diff in diffs or []:
+        parts.append("")
+        parts.append(counterfactual_section(diff))
     return "\n".join(parts)

@@ -32,25 +32,19 @@ from repro import io
 from repro.analysis.render import format_table
 from repro.cluster import presets
 from repro.cluster.gpu import GPU_CATALOG
+from repro.core import fork as forklib
 from repro.core.health import HealthConfig
-from repro.core.policy import SiaPolicyParams
-from repro.core.resilience import ResilienceConfig, ResilientScheduler
 from repro.core.types import ProfilingMode
 from repro.metrics.jct import summarize
 from repro.obs.export import run_digest, write_chrome_trace, write_events_jsonl
 from repro.obs.tracer import Tracer
 from repro.perf.profiles import MODEL_ZOO
-from repro.schedulers import (FIFOScheduler, GavelScheduler, PolluxScheduler,
-                              ShockwaveScheduler, SiaScheduler,
-                              SRTFScheduler, ThemisScheduler)
+from repro.schedulers import GavelScheduler
 from repro.schedulers.base import Scheduler
 from repro.sim.chaos import run_chaos
 from repro.sim.checkpoint import CheckpointConfig
 from repro.sim.engine import Simulator, SimulatorConfig
-from repro.sim.faults import (CheckpointRestoreFaultModel, FaultModel,
-                              GrayFailureModel, JobCrashModel,
-                              PlacementFailureModel, StragglerModel,
-                              TelemetryCorruptionModel)
+from repro.sim.faults import FaultModel
 from repro.sim.invariants import MODES as INVARIANT_MODES
 from repro.workloads.generators import SPECS, trace_by_name
 from repro.workloads.trace import Trace
@@ -63,58 +57,30 @@ RIGID_SCHEDULERS = ("gavel", "shockwave", "themis", "fifo", "srtf")
 
 
 def build_scheduler(name: str, args: argparse.Namespace) -> Scheduler:
-    resilience = None
-    if getattr(args, "resilient", False):
-        resilience = ResilienceConfig(solve_budget_s=args.solve_budget)
-    if name == "sia":
-        params = SiaPolicyParams(p=args.p, allocation_incentive=args.lam,
-                                 solver=args.solver, resilience=resilience)
-        scheduler: Scheduler = SiaScheduler(
-            params, round_duration=args.round_duration)
-        if resilience is not None:
-            scheduler = ResilientScheduler(scheduler, resilience)
-        return scheduler
-    builders = {
-        "pollux": lambda: PolluxScheduler(round_duration=args.round_duration),
-        "gavel": lambda: GavelScheduler(policy=args.gavel_policy),
-        "shockwave": ShockwaveScheduler,
-        "themis": ThemisScheduler,
-        "fifo": FIFOScheduler,
-        "srtf": SRTFScheduler,
-    }
-    if name not in builders:
-        known = ", ".join(ADAPTIVE_SCHEDULERS + RIGID_SCHEDULERS)
-        raise SystemExit(f"unknown scheduler {name!r}; choose from: {known}")
-    scheduler = builders[name]()
-    if resilience is not None:
-        scheduler = ResilientScheduler(scheduler, resilience)
-    return scheduler
+    """CLI front-end of :func:`repro.core.fork.make_scheduler` (the shared
+    factory the replay engine also uses)."""
+    try:
+        return forklib.make_scheduler(
+            name,
+            round_duration=args.round_duration,
+            p=args.p, lam=args.lam, solver=args.solver,
+            gavel_policy=args.gavel_policy,
+            resilient=getattr(args, "resilient", False),
+            solve_budget=getattr(args, "solve_budget", 5.0))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _fault_options(args: argparse.Namespace) -> dict[str, float]:
+    """The fault knobs as a plain dict (the replay run-spec vocabulary)."""
+    return {key: getattr(args, key, default)
+            for key, default in forklib.FAULT_OPTION_DEFAULTS.items()}
 
 
 def build_fault_models(args: argparse.Namespace) -> list[FaultModel]:
     """Fault injectors requested on the command line (node crashes keep
     riding the legacy --failure-rate path inside the simulator)."""
-    models: list[FaultModel] = []
-    if getattr(args, "straggler_rate", 0.0) > 0:
-        models.append(StragglerModel(rate=args.straggler_rate,
-                                     slowdown=args.straggler_slowdown,
-                                     duration=args.straggler_duration))
-    if getattr(args, "job_crash_rate", 0.0) > 0:
-        models.append(JobCrashModel(rate=args.job_crash_rate))
-    if getattr(args, "restore_failure_prob", 0.0) > 0:
-        models.append(CheckpointRestoreFaultModel(
-            failure_prob=args.restore_failure_prob))
-    if getattr(args, "gray_rate", 0.0) > 0:
-        models.append(GrayFailureModel(rate=args.gray_rate,
-                                       slowdown=args.gray_slowdown,
-                                       duration=args.gray_duration))
-    if getattr(args, "placement_fail_prob", 0.0) > 0:
-        models.append(PlacementFailureModel(
-            failure_prob=args.placement_fail_prob))
-    if getattr(args, "telemetry_corrupt_rate", 0.0) > 0:
-        models.append(TelemetryCorruptionModel(
-            rate=args.telemetry_corrupt_rate))
-    return models
+    return forklib.make_fault_models(_fault_options(args))
 
 
 def resolve_trace(args: argparse.Namespace) -> Trace:
@@ -164,6 +130,25 @@ def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
         health=HealthConfig() if getattr(args, "health", False) else None)
     simulator = Simulator(cluster, scheduler, jobs, config)
     result = simulator.run(resume_from=getattr(args, "resume_from", None))
+    # Record the construction recipe so a saved result can be forked by
+    # `repro replay` (jobs are recorded post-tuning, so rigid-scheduler
+    # runs replay without re-tuning).
+    from repro.analysis.replay import build_run_spec
+    result.run_spec = build_run_spec(
+        scheduler=scheduler_name, cluster=args.cluster, jobs=jobs,
+        seed=args.seed, profiling_mode=args.profiling_mode,
+        max_hours=args.max_hours, node_failure_rate=args.failure_rate,
+        resilient=getattr(args, "resilient", False),
+        invariants=getattr(args, "invariants", "off"),
+        health=getattr(args, "health", False),
+        scheduler_options={
+            "round_duration": args.round_duration, "p": args.p,
+            "lam": args.lam, "solver": args.solver,
+            "gavel_policy": args.gavel_policy,
+            "solve_budget": getattr(args, "solve_budget", 5.0),
+        },
+        fault_options={k: v for k, v in _fault_options(args).items()
+                       if v != forklib.FAULT_OPTION_DEFAULTS[k]})
     violations = simulator.invariant_violations
     if violations:
         print(f"invariant violations: {len(violations)} "
@@ -280,7 +265,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
     results = [io.load_result(path) for path in args.results]
-    text = build_report(results, title=args.title)
+    diffs = [io.load_run_diff(path) for path in (args.diff or [])]
+    text = build_report(results, title=args.title, diffs=diffs)
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote report to {args.out}")
@@ -296,10 +282,65 @@ def cmd_explain(args: argparse.Namespace) -> int:
         raise SystemExit(f"{args.result} has no per-round records "
                          "(saved with include_rounds=False?); re-run and "
                          "save with rounds to explain decisions")
+    counterfactual = None
+    if args.counterfactual:
+        counterfactual = io.load_run_diff(args.counterfactual)
     try:
-        print(explain_job(result, args.job, round_index=args.round))
+        print(explain_job(result, args.job, round_index=args.round,
+                          counterfactual=counterfactual))
     except (KeyError, IndexError) as exc:
         raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Counterfactual replay: fork a recorded run, diff the two futures."""
+    from repro.analysis.replay import ReplayOverrides, replay
+    from repro.obs.export import write_run_diff_jsonl
+
+    base = io.load_result(args.result)
+    if not base.rounds:
+        raise SystemExit(f"{args.result} has no per-round records; re-run "
+                         "and save with rounds to replay")
+    try:
+        overrides = ReplayOverrides(
+            policy=args.policy, solver_backend=args.solver_backend,
+            fault_seed=args.fault_seed, cluster_delta=args.cluster_delta,
+            health=args.health_mode)
+        outcome = replay(base, args.at_round, overrides,
+                         checkpoint_dir=args.from_checkpoints)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    diff = outcome.diff
+    over = ", ".join(f"{k}={v}" for k, v in diff.overrides.items()) \
+        or "none (identity fork)"
+    print(f"forked {diff.base_scheduler} at round {diff.fork_round} "
+          f"-> {diff.fork_scheduler} (overrides: {over})")
+    if diff.identical:
+        print("futures are bit-identical (modulo wall-clock telemetry)")
+    elif diff.divergence is not None:
+        d = diff.divergence
+        print(f"diverged at round {d.round_index} (t={d.time:.0f}s): "
+              f"{d.reason}")
+    print(format_table([{
+        "metric": m.name, "base": round(m.base, 3),
+        "fork": round(m.fork, 3), "delta": round(m.delta, 3),
+    } for m in diff.metrics], title="outcome deltas"))
+    if args.diff_out:
+        io.save_run_diff(diff, args.diff_out)
+        print(f"wrote run diff to {args.diff_out}")
+    if args.diff_jsonl:
+        write_run_diff_jsonl(diff, args.diff_jsonl)
+        print(f"wrote run-diff JSONL to {args.diff_jsonl}")
+    if args.fork_out:
+        io.save_result(outcome.fork, args.fork_out)
+        print(f"saved forked result to {args.fork_out}")
+    if overrides.empty and not diff.identical:
+        print("IDENTITY VIOLATION: a zero-override fork must reproduce "
+              "the base run bit-identically", file=sys.stderr)
+        for line in diff.mismatches[:20]:
+            print(f"  {line}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -547,6 +588,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result JSON files from `run --out`")
     report.add_argument("--title", default="Simulation report")
     report.add_argument("--out", help="write the markdown here")
+    report.add_argument("--diff", action="append", metavar="PATH",
+                        help="append a counterfactual decision-diff section "
+                             "from a `replay --diff-out` file (repeatable)")
     report.set_defaults(func=cmd_report)
 
     explain = sub.add_parser(
@@ -558,7 +602,49 @@ def build_parser() -> argparse.ArgumentParser:
                          help="job id to explain")
     explain.add_argument("--round", type=int, default=None,
                          help="zoom into one scheduling round")
+    explain.add_argument("--counterfactual", metavar="PATH",
+                         help="annotate the timeline with the alternate "
+                              "future from a `replay --diff-out` file")
     explain.set_defaults(func=cmd_explain)
+
+    replay = sub.add_parser(
+        "replay",
+        help="fork a recorded run at round N under overrides and diff "
+             "the two futures")
+    replay.add_argument("result",
+                        help="result JSON from `run --out` (carries the "
+                             "run spec the fork is rebuilt from)")
+    replay.add_argument("--at-round", type=int, required=True,
+                        help="round to fork at (rounds before it are "
+                             "shared history)")
+    replay.add_argument("--policy", default=None,
+                        help="swap the scheduler from the fork round on "
+                             "(e.g. gavel)")
+    replay.add_argument("--solver-backend", default=None,
+                        choices=list(forklib.SOLVER_BACKENDS),
+                        help="rebind the Sia ILP backend mid-run")
+    replay.add_argument("--fault-seed", type=int, default=None,
+                        help="reseed every fault model ('different luck')")
+    replay.add_argument("--cluster-delta", default=None, metavar="SPEC",
+                        help="capacity edit, e.g. '+64xa100' or "
+                             "'-8xt4,+16xa100:4' (counts are GPUs)")
+    replay.add_argument("--health", dest="health_mode", default=None,
+                        choices=["on", "off"],
+                        help="force the gray-failure defense on/off in "
+                             "the fork")
+    replay.add_argument("--from-checkpoints", metavar="DIR", default=None,
+                        help="fast-forward from the newest checkpoint at "
+                             "or before the fork round instead of "
+                             "recomputing from round 0")
+    replay.add_argument("--diff-out", metavar="PATH",
+                        help="write the RunDiff JSON here (consumed by "
+                             "`explain --counterfactual` and "
+                             "`report --diff`)")
+    replay.add_argument("--diff-jsonl", metavar="PATH",
+                        help="write the jq-friendly JSONL rendering here")
+    replay.add_argument("--fork-out", metavar="PATH",
+                        help="save the forked future as a result JSON")
+    replay.set_defaults(func=cmd_replay)
     return parser
 
 

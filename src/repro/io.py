@@ -24,6 +24,7 @@ from repro.core.types import AdaptivityMode
 from repro.jobs.hybrid import HybridSpec
 from repro.jobs.job import Job
 from repro.obs.audit import AllocationEvent
+from repro.obs.diff import RunDiff
 from repro.obs.ledger import GoodputLedger, LedgerEntry
 from repro.sim.telemetry import (FaultEvent, JobRecord, RoundRecord,
                                  SimulationResult)
@@ -188,6 +189,8 @@ def save_result(result: SimulationResult, path: str | Path, *,
     counts = result.resilience_counts()
     if counts:
         payload["resilience_counts"] = counts
+    if result.run_spec:
+        payload["run_spec"] = result.run_spec
     atomic_write_text(path, json.dumps(payload, indent=2))
 
 
@@ -203,6 +206,7 @@ def load_result(path: str | Path) -> SimulationResult:
         final_metrics=dict(payload.get("final_metrics", {})),
         saved_fault_counts=payload.get("fault_counts"),
         saved_backend_counts=payload.get("backend_counts"),
+        run_spec=payload.get("run_spec"),
     )
     for item in payload["jobs"]:
         result.jobs.append(JobRecord(
@@ -334,6 +338,26 @@ def load_health_events(path: str | Path,
         raise ValueError(f"{path} is not a health-events JSONL "
                          "(missing header)")
     return events
+
+
+# -- counterfactual run diffs --------------------------------------------------
+
+def save_run_diff(diff: RunDiff, path: str | Path) -> None:
+    """Persist a counterfactual :class:`~repro.obs.diff.RunDiff`
+    (``repro replay --diff-out``) as JSON; :func:`load_run_diff`
+    round-trips it exactly."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "run_diff",
+        **diff.to_dict(),
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2))
+
+
+def load_run_diff(path: str | Path) -> RunDiff:
+    payload = json.loads(Path(path).read_text())
+    _check_payload(payload, "run_diff")
+    return RunDiff.from_dict(payload)
 
 
 def _check_payload(payload: dict[str, Any], kind: str) -> None:

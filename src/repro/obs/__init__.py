@@ -10,6 +10,9 @@
   goodput per round, estimation-error series, queue-wait attribution.
 * :mod:`repro.obs.audit`   — decision audit trail: classified
   allocation-change events (admit/scale/migrate/preempt/resume/finish).
+* :mod:`repro.obs.diff`    — cross-run decision diff: align two futures of
+  one run (:class:`RunDiff`, divergence detection, ledger alignment) for
+  the counterfactual replay engine.
 
 Attach a tracer to a simulation via ``SimulatorConfig(tracer=Tracer())``
 (the CLI's ``--trace-out``/``--events-out`` do this for you), then read
@@ -19,9 +22,13 @@ or export with :func:`repro.obs.export.write_chrome_trace`.
 
 from repro.obs.audit import (AllocationEvent, AuditTrail, classify_change,
                              event_counts, events_for_job, migration_flows)
-from repro.obs.export import (chrome_trace, read_events_jsonl, run_digest,
-                              span_digest, validate_chrome_trace,
-                              write_chrome_trace, write_events_jsonl)
+from repro.obs.diff import (AllocDelta, DivergencePoint, MetricDelta,
+                            RoundDelta, RunDiff, aligned_ledger_deltas,
+                            compare_runs, fault_recovery_seconds)
+from repro.obs.export import (chrome_trace, read_events_jsonl,
+                              run_diff_markdown, run_digest, span_digest,
+                              validate_chrome_trace, write_chrome_trace,
+                              write_events_jsonl, write_run_diff_jsonl)
 from repro.obs.ledger import GoodputLedger, LedgerEntry, queue_wait_by_job
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import (NULL_TRACER, PLAN_PHASES, NullTracer,
@@ -36,4 +43,7 @@ __all__ = [
     "GoodputLedger", "LedgerEntry", "queue_wait_by_job",
     "AllocationEvent", "AuditTrail", "classify_change", "event_counts",
     "events_for_job", "migration_flows",
+    "AllocDelta", "DivergencePoint", "MetricDelta", "RoundDelta", "RunDiff",
+    "aligned_ledger_deltas", "compare_runs", "fault_recovery_seconds",
+    "run_diff_markdown", "write_run_diff_jsonl",
 ]

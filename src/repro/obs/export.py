@@ -139,6 +139,76 @@ def read_events_jsonl(path: str | Path,
     return spans, metrics
 
 
+# -- counterfactual run diffs --------------------------------------------------
+
+def write_run_diff_jsonl(diff: Any, path: str | Path) -> None:
+    """One JSON object per line for a :class:`~repro.obs.diff.RunDiff`:
+    a header (fork round, overrides, schedulers, identity verdict), one
+    ``round_delta`` line per differing round, one ``metric`` line per
+    outcome delta, and one ``job_delta`` line per job — the ``jq``-friendly
+    sibling of the exact ``diff.json`` written by
+    :func:`repro.io.save_run_diff`."""
+    lines = [json.dumps({
+        "kind": "run_diff", "fork_round": diff.fork_round,
+        "overrides": dict(diff.overrides),
+        "base_scheduler": diff.base_scheduler,
+        "fork_scheduler": diff.fork_scheduler,
+        "base_rounds": diff.base_rounds, "fork_rounds": diff.fork_rounds,
+        "identical": diff.identical,
+        "divergence": diff.divergence.to_dict() if diff.divergence else None,
+    })]
+    for rnd in diff.round_deltas:
+        lines.append(json.dumps({"kind": "round_delta", **rnd.to_dict()}))
+    for metric in diff.metrics:
+        lines.append(json.dumps({"kind": "metric", **metric.to_dict()}))
+    for job_id, vals in diff.job_deltas.items():
+        lines.append(json.dumps({"kind": "job_delta", "job_id": job_id,
+                                 **vals}))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def run_diff_markdown(diff: Any) -> str:
+    """Render a :class:`~repro.obs.diff.RunDiff` as a markdown section —
+    shared by the report's decision-diff section and standalone export."""
+    over = ", ".join(f"`{k}={v}`" for k, v in diff.overrides.items()) \
+        or "*(none — identity fork)*"
+    lines = [
+        "## Counterfactual diff",
+        "",
+        f"Base `{diff.base_scheduler}` ({diff.base_rounds} rounds) vs fork "
+        f"`{diff.fork_scheduler}` ({diff.fork_rounds} rounds), "
+        f"branched at round {diff.fork_round}.",
+        f"Overrides: {over}.",
+        "",
+    ]
+    if diff.identical:
+        lines.append("The two futures are **bit-identical** (modulo "
+                     "wall-clock telemetry).")
+    elif diff.divergence is not None:
+        d = diff.divergence
+        lines.append(f"**Divergence at round {d.round_index}** "
+                     f"(t={d.time:.0f}s): {d.reason}. "
+                     f"Jobs: {', '.join(d.jobs) or '-'}.")
+    if diff.metrics:
+        lines += ["", "| metric | base | fork | delta |",
+                  "| --- | --- | --- | --- |"]
+        for metric in diff.metrics:
+            lines.append(f"| {metric.name} | {metric.base:.3f} "
+                         f"| {metric.fork:.3f} | {metric.delta:+.3f} |")
+    if diff.round_deltas:
+        shown = diff.round_deltas[:20]
+        lines += ["", f"{len(diff.round_deltas)} differing round(s)"
+                  + (f" (first {len(shown)} shown)"
+                     if len(shown) < len(diff.round_deltas) else "") + ":",
+                  ""]
+        for rnd in shown:
+            tag = f" [only in {rnd.only_in}]" if rnd.only_in else ""
+            changes = "; ".join(c.describe() for c in rnd.changes)
+            lines.append(f"- round {rnd.round_index} "
+                         f"(t={rnd.time:.0f}s){tag}: {changes}")
+    return "\n".join(lines) + "\n"
+
+
 # -- human-readable digest -----------------------------------------------------
 
 def span_digest(spans: Sequence[SpanRecord]) -> str:

@@ -82,6 +82,10 @@ class GoodputLedger:
     def __init__(self, entries: Sequence[LedgerEntry] = ()):
         self.entries = list(entries)
         self._by_job: dict[str, list[LedgerEntry]] | None = None
+        #: number of entries covered by ``_by_job`` — an O(1) staleness
+        #: check (entries are append-only in practice, so a length match
+        #: means the memoized index is current).
+        self._indexed_len = -1
 
     @classmethod
     def from_result(cls, result: Any) -> "GoodputLedger":
@@ -106,14 +110,28 @@ class GoodputLedger:
         return sorted({e.job_id for e in self.entries})
 
     def for_job(self, job_id: str) -> list[LedgerEntry]:
+        return list(self._index().get(job_id, ()))
+
+    def _index(self) -> dict[str, list[LedgerEntry]]:
+        """The per-job index, rebuilt only when the entry count changed
+        since it was last built (O(1) staleness check)."""
         by_job = self._by_job
-        if by_job is None or sum(len(v) for v in by_job.values()) != \
-                len(self.entries):
+        if by_job is None or self._indexed_len != len(self.entries):
             by_job = {}
             for entry in self.entries:
                 by_job.setdefault(entry.job_id, []).append(entry)
             self._by_job = by_job
-        return list(by_job.get(job_id, ()))
+            self._indexed_len = len(self.entries)
+        return by_job
+
+    def rounds(self) -> list[int]:
+        """Sorted distinct round indices with at least one entry — the
+        alignment axis the cross-run diff (:mod:`repro.obs.diff`) walks."""
+        return sorted({e.round_index for e in self.entries})
+
+    def for_round(self, round_index: int) -> list[LedgerEntry]:
+        """Entries of one round, in input order."""
+        return [e for e in self.entries if e.round_index == round_index]
 
     # -- derived series --------------------------------------------------------
 

@@ -267,13 +267,57 @@ class Simulator:
         if resume_from is not None:
             self._restore(resume_from)
         else:
-            self._active = {}
-            self._finished = []
-            self._arrival_idx = 0
-            self._now = 0.0
-            self._result = SimulationResult(
-                scheduler_name=self.scheduler.name,
-                cluster_description=self.cluster.describe())
+            self._init_fresh()
+        self._run_loop(max_rounds=None)
+        return self._finalize(self.config.max_hours * 3600.0)
+
+    def run_to_round(self,
+                     round_index: int,
+                     resume_from: str | Path | CheckpointState | None = None,
+                     ) -> CheckpointState:
+        """Run (or resume) until exactly ``round_index`` rounds are recorded
+        and return a snapshot of the engine state at that boundary — the
+        counterfactual fork entry point (:mod:`repro.analysis.replay`).
+
+        The returned state is the same shape a disk checkpoint holds, so it
+        can be handed to another simulator's ``run(resume_from=...)`` to
+        play out an alternate future.  Raises ``ValueError`` when the run
+        ends (all jobs finished, or the time cap hit) before reaching the
+        requested round, and when resuming from a checkpoint that is
+        already past it.
+        """
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        if resume_from is not None:
+            self._restore(resume_from)
+            recorded = len(self._result.rounds) if self._result else 0
+            if recorded > round_index:
+                raise ValueError(
+                    f"checkpoint is already at round {recorded}, past the "
+                    f"requested fork round {round_index}")
+        else:
+            self._init_fresh()
+        self._run_loop(max_rounds=round_index)
+        recorded = len(self._result.rounds) if self._result else 0
+        if recorded < round_index:
+            raise ValueError(
+                f"run ended after {recorded} rounds, before the requested "
+                f"fork round {round_index}")
+        return self._snapshot()
+
+    def _init_fresh(self) -> None:
+        self._active = {}
+        self._finished = []
+        self._arrival_idx = 0
+        self._now = 0.0
+        self._result = SimulationResult(
+            scheduler_name=self.scheduler.name,
+            cluster_description=self.cluster.describe())
+
+    def _run_loop(self, max_rounds: int | None) -> None:
+        """The main loop: admit, run rounds, checkpoint.  Stops at the time
+        cap, when no work remains, or after ``max_rounds`` recorded rounds
+        (``None`` = unbounded)."""
         result = self._result
         assert result is not None
         dt = self.scheduler.round_duration
@@ -281,7 +325,8 @@ class Simulator:
         active = self._active
 
         while (self._arrival_idx < len(self._arrivals) or active) \
-                and self._now < cap:
+                and self._now < cap \
+                and (max_rounds is None or len(result.rounds) < max_rounds):
             # 1. admissions
             if (self._arrival_idx < len(self._arrivals)
                     and self._arrivals[self._arrival_idx].submit_time
@@ -313,8 +358,6 @@ class Simulator:
             self._now += dt
             self._maybe_checkpoint(len(result.rounds))
             self._crash_point("round_end", len(result.rounds))
-
-        return self._finalize(cap)
 
     def _finalize(self, cap: float) -> SimulationResult:
         """6. finalize records — censored *and* never-admitted jobs included,

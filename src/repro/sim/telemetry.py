@@ -146,6 +146,11 @@ class SimulationResult:
                                                       repr=False)
     saved_backend_counts: dict[str, int] | None = field(default=None,
                                                         repr=False)
+    #: construction recipe of this run (scheduler/cluster/config/job list),
+    #: recorded by the CLI and serialized by repro.io so the counterfactual
+    #: replay engine can rebuild the simulator and fork it at any round.
+    #: None for results produced without one (programmatic runs, old files).
+    run_spec: dict | None = field(default=None, repr=False, compare=False)
     #: lazily built job_id -> record index (invalidated by length change).
     _job_index: dict[str, JobRecord] | None = field(default=None, init=False,
                                                     repr=False, compare=False)

@@ -256,3 +256,29 @@ class TestEngineCheckpointResume:
         # the restored scheduler talks to the new process's tracer
         assert fresh.scheduler.tracer is tracer
         assert any(s.name == "round" for s in tracer.spans)
+
+
+class TestLedgerContinuity:
+    """A resumed run's goodput ledger must be indistinguishable from the
+    uninterrupted run's — the property the counterfactual diff aligner
+    leans on when it rebuilds ledgers for both futures."""
+
+    def test_ledger_identical_across_resume(self, tmp_path, hetero_cluster):
+        from repro.obs.ledger import GoodputLedger
+
+        reference = _sim(hetero_cluster).run()
+        sim = _sim(hetero_cluster,
+                   checkpoint=CheckpointConfig(directory=tmp_path,
+                                               every_rounds=4, keep=0))
+        sim.run()
+        mid = ckpt.list_checkpoints(tmp_path)[1]
+        assert 0 < ckpt.read_checkpoint(mid).round_index \
+            < len(reference.rounds)
+        resumed = _sim(hetero_cluster).run(resume_from=mid)
+
+        ref_ledger = GoodputLedger.from_result(reference)
+        res_ledger = GoodputLedger.from_result(resumed)
+        assert ref_ledger.entries == res_ledger.entries
+        assert ref_ledger.rounds() == res_ledger.rounds()
+        for job_id in ref_ledger.job_ids():
+            assert ref_ledger.for_job(job_id) == res_ledger.for_job(job_id)

@@ -380,3 +380,45 @@ class TestExplain:
         path = tmp_path / "bare.json"
         io.save_result(sia_result, path, include_rounds=False)
         assert decision_digest_section(io.load_result(path)) == ""
+
+
+class TestLedgerIndex:
+    """The memoized per-job index and the diff aligner's accessors."""
+
+    def test_for_job_matches_linear_scan(self, sia_result):
+        ledger = GoodputLedger.from_result(sia_result)
+        for job_id in ledger.job_ids():
+            assert ledger.for_job(job_id) == \
+                [e for e in ledger.entries if e.job_id == job_id]
+
+    def test_index_is_reused_until_entries_change(self, sia_result):
+        ledger = GoodputLedger.from_result(sia_result)
+        job_id = ledger.job_ids()[0]
+        ledger.for_job(job_id)
+        first = ledger._index()
+        assert ledger._index() is first  # memoized, not rebuilt
+        ledger.entries.append(LedgerEntry(round_index=10_000, time=0.0,
+                                          job_id=job_id, gpu_type="t4",
+                                          num_gpus=1))
+        rebuilt = ledger._index()
+        assert rebuilt is not first  # appended entry invalidates
+        assert ledger.for_job(job_id)[-1].round_index == 10_000
+
+    def test_for_job_returns_copies(self, sia_result):
+        ledger = GoodputLedger.from_result(sia_result)
+        job_id = ledger.job_ids()[0]
+        rows = ledger.for_job(job_id)
+        rows.clear()
+        assert ledger.for_job(job_id)  # caller mutation cannot corrupt
+
+    def test_rounds_accessor(self, sia_result):
+        ledger = GoodputLedger.from_result(sia_result)
+        rounds = ledger.rounds()
+        assert rounds == sorted(set(rounds))
+        assert rounds == sorted({e.round_index for e in ledger.entries})
+
+    def test_for_round(self, sia_result):
+        ledger = GoodputLedger.from_result(sia_result)
+        index = ledger.rounds()[0]
+        rows = ledger.for_round(index)
+        assert rows and all(e.round_index == index for e in rows)
