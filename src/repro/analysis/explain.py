@@ -134,6 +134,8 @@ def _round_detail(result: SimulationResult, ledger: GoodputLedger,
                      + (f" ({fault.detail})" if fault.detail else ""))
     for event in rnd.health_events:
         lines.append(f"  health: {event.describe()}")
+    for alert in rnd.alerts:
+        lines.append(f"  alert: {alert.describe()}")
     return lines
 
 

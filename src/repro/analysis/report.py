@@ -122,6 +122,30 @@ def decision_digest_section(result: SimulationResult) -> str:
     return "\n".join(parts)
 
 
+def slo_section(result: SimulationResult) -> str:
+    """SLO/alert summary: fired alerts by rule plus the first few alert
+    lines with their causal context.  Empty string when the run was not
+    SLO-observed (no alerts recorded or persisted)."""
+    counts = result.alert_counts()
+    if not counts:
+        return ""
+    parts = [f"### SLO alerts ({result.scheduler_name})\n"]
+    parts.append(_markdown_table([
+        {"rule": rule, "alerts": counts[rule]}
+        for rule in sorted(counts, key=lambda r: -counts[r])]))
+    timeline = result.alerts_timeline()
+    if timeline:
+        shown = timeline[:8]
+        parts.append(f"{len(timeline)} alert(s)"
+                     + (f" (first {len(shown)} shown)"
+                        if len(shown) < len(timeline) else "") + ":\n")
+        for index, alert in shown:
+            parts.append(f"- round {index} (t={alert.time:.0f}s): "
+                         f"{alert.describe()}")
+        parts.append("")
+    return "\n".join(parts)
+
+
 def counterfactual_section(diff: RunDiff) -> str:
     """Decision-diff section for a counterfactual replay (``repro report
     ... --diff diff.json``): the rendered RunDiff — overrides, divergence
@@ -159,6 +183,9 @@ def build_report(results: list[SimulationResult], *,
         digest = decision_digest_section(result)
         if digest:
             parts.append(digest)
+        alerts = slo_section(result)
+        if alerts:
+            parts.append(alerts)
         if result.censored:
             parts.append(f"**Warning:** {result.censored} job(s) did not "
                          "finish before the simulation cap.\n")

@@ -15,6 +15,9 @@ Subcommands::
     python -m repro chaos --trace-name philly --num-jobs 12 --work-scale 0.05
     python -m repro chaos --scenario gray     # gray failures + health defense
     python -m repro run ... --gray-rate 2 --health --health-events-out h.jsonl
+    python -m repro watch --trace-name philly --num-jobs 8   # live view + SLOs
+    python -m repro run ... --slo rules.json --alerts-out alerts.jsonl
+    python -m repro run ... --serve 9090      # live /metrics, /healthz, /alerts
 
 ``run`` and ``compare`` accept either a saved trace file (``--trace``) or
 generator parameters (``--trace-name``/``--seed``/...).  Results can be
@@ -36,7 +39,12 @@ from repro.core import fork as forklib
 from repro.core.health import HealthConfig
 from repro.core.types import ProfilingMode
 from repro.metrics.jct import summarize
-from repro.obs.export import run_digest, write_chrome_trace, write_events_jsonl
+from repro.obs.export import run_digest, write_chrome_trace
+from repro.obs.slo import SLOEngine, parse_rules
+from repro.obs.stream import (AlertStreamObserver, EventStreamObserver,
+                              LedgerStreamObserver, MetricsHTTPServer,
+                              PrometheusSnapshotObserver, SLOObserver,
+                              WatchView)
 from repro.obs.tracer import Tracer
 from repro.perf.profiles import MODEL_ZOO
 from repro.schedulers import GavelScheduler
@@ -110,6 +118,60 @@ def _checkpoint_config(args: argparse.Namespace) -> CheckpointConfig | None:
                             keep=args.checkpoint_keep)
 
 
+def _build_slo_engine(args: argparse.Namespace,
+                      simulator: Simulator) -> SLOEngine | None:
+    """The SLO engine this run should evaluate, or None.  Enabled by
+    ``--slo`` (a ruleset path or 'default'), and implicitly — with the
+    default ruleset — by ``--alerts-out`` and ``repro watch``."""
+    source = getattr(args, "slo", None)
+    if source is None and not (getattr(args, "watch", False)
+                               or getattr(args, "alerts_out", None)):
+        return None
+    try:
+        rules = parse_rules(source)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"bad --slo ruleset: {exc}")
+    return SLOEngine(rules, metrics=simulator.metrics)
+
+
+def _attach_observers(args: argparse.Namespace, simulator: Simulator,
+                      tracer: Tracer | None, suffix: str,
+                      ) -> tuple[SLOEngine | None, MetricsHTTPServer | None]:
+    """Build the live-telemetry observer chain for one run.
+
+    Order matters: the SLO evaluator runs first so each round's alerts
+    exist before the streams/views that render them see the record.
+    """
+    observers = simulator.config.observers
+    slo_engine = _build_slo_engine(args, simulator)
+    if slo_engine is not None:
+        observers.append(SLOObserver(slo_engine))
+    if getattr(args, "alerts_out", None):
+        observers.append(AlertStreamObserver(
+            _suffixed(args.alerts_out, suffix), simulator.scheduler.name))
+    if tracer is not None and getattr(args, "events_out", None):
+        observers.append(EventStreamObserver(
+            tracer, _suffixed(args.events_out, suffix),
+            metrics=simulator.metrics))
+    if getattr(args, "ledger_out", None):
+        observers.append(LedgerStreamObserver(
+            _suffixed(args.ledger_out, suffix), simulator.scheduler.name))
+    if getattr(args, "prom_out", None):
+        observers.append(PrometheusSnapshotObserver(
+            simulator.metrics, _suffixed(args.prom_out, suffix)))
+    server = None
+    if getattr(args, "serve", None) is not None:
+        server = MetricsHTTPServer(simulator.metrics, slo=slo_engine,
+                                   port=args.serve)
+        port = server.start()
+        print(f"serving live run at http://127.0.0.1:{port}/metrics "
+              "(also /healthz, /alerts)", file=sys.stderr)
+        observers.append(server)
+    if getattr(args, "watch", False):
+        observers.append(WatchView(slo=slo_engine))
+    return slo_engine, server
+
+
 def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
               suffix: str = ""):
     cluster = presets.by_name(args.cluster)
@@ -129,7 +191,12 @@ def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
         invariants=getattr(args, "invariants", "off"),
         health=HealthConfig() if getattr(args, "health", False) else None)
     simulator = Simulator(cluster, scheduler, jobs, config)
-    result = simulator.run(resume_from=getattr(args, "resume_from", None))
+    _, server = _attach_observers(args, simulator, tracer, suffix)
+    try:
+        result = simulator.run(resume_from=getattr(args, "resume_from", None))
+    finally:
+        if server is not None:
+            server.close()
     # Record the construction recipe so a saved result can be forked by
     # `repro replay` (jobs are recorded post-tuning, so rigid-scheduler
     # runs replay without re-tuning).
@@ -154,10 +221,21 @@ def _simulate(scheduler_name: str, args: argparse.Namespace, trace: Trace,
         print(f"invariant violations: {len(violations)} "
               f"(first: {violations[0].message})", file=sys.stderr)
     _export_observability(result, tracer, args, suffix)
+    # --events-out / --ledger-out / --alerts-out streamed during the run
+    # (flushed per round, finalized atomically at the end); report where
+    # the finalized files landed.
+    if tracer is not None and getattr(args, "events_out", None):
+        print(f"wrote event log to {_suffixed(args.events_out, suffix)} "
+              "(streamed per round)")
     if getattr(args, "ledger_out", None):
-        path = _suffixed(args.ledger_out, suffix)
-        io.save_ledger(result, path)
-        print(f"wrote goodput ledger to {path}")
+        print(f"wrote goodput ledger to "
+              f"{_suffixed(args.ledger_out, suffix)} (streamed per round)")
+    if getattr(args, "alerts_out", None):
+        print(f"wrote SLO alerts to {_suffixed(args.alerts_out, suffix)} "
+              "(streamed per round)")
+    if getattr(args, "prom_out", None):
+        print(f"wrote Prometheus snapshot to "
+              f"{_suffixed(args.prom_out, suffix)}")
     if getattr(args, "health_events_out", None):
         path = _suffixed(args.health_events_out, suffix)
         io.save_health_events(result, path)
@@ -185,10 +263,8 @@ def _export_observability(result, tracer: Tracer | None,
         write_chrome_trace(tracer.spans, path, events)
         print(f"wrote Chrome trace to {path} "
               "(open at https://ui.perfetto.dev)")
-    if getattr(args, "events_out", None):
-        path = _suffixed(args.events_out, suffix)
-        write_events_jsonl(tracer.spans, path, events, result.final_metrics)
-        print(f"wrote event log to {path}")
+    # --events-out streams during the run (EventStreamObserver); only the
+    # Chrome trace and digest are post-run renderings.
     if getattr(args, "metrics_digest", False):
         print(run_digest(result))
 
@@ -200,7 +276,9 @@ def _print_robustness_summary(result) -> None:
     backends = {k or "?": v for k, v in result.backend_counts().items()}
     resilience = result.resilience_counts()
     health = result.health_counts()
-    if not faults and not degraded and not resilience and not health:
+    alerts = result.alert_counts()
+    if not faults and not degraded and not resilience and not health \
+            and not alerts:
         return
     parts = []
     if faults:
@@ -216,6 +294,9 @@ def _print_robustness_summary(result) -> None:
     if health:
         parts.append("health: " + ", ".join(
             f"{k}={v}" for k, v in sorted(health.items())))
+    if alerts:
+        parts.append("slo alerts: " + ", ".join(
+            f"{rule}={n}" for rule, n in sorted(alerts.items())))
     print("; ".join(parts))
 
 
@@ -507,9 +588,23 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
                         help="print a per-run observability digest "
                              "(phase breakdown, span stats, metrics)")
     parser.add_argument("--ledger-out", metavar="PATH",
-                        help="write the goodput ledger + allocation events "
-                             "as JSONL here (compare mode appends the "
-                             "scheduler name)")
+                        help="stream the goodput ledger + allocation events "
+                             "as JSONL here, flushed per round (compare "
+                             "mode appends the scheduler name)")
+    parser.add_argument("--slo", metavar="RULES", nargs="?", const="default",
+                        help="evaluate SLO rules live each round: 'default' "
+                             "(or no value) for the stock ruleset, or a "
+                             "JSON/YAML ruleset path")
+    parser.add_argument("--alerts-out", metavar="PATH",
+                        help="stream fired SLO alerts as JSONL here "
+                             "(implies --slo default unless --slo is given)")
+    parser.add_argument("--prom-out", metavar="PATH",
+                        help="rewrite a Prometheus text-exposition snapshot "
+                             "of the live metrics here every round")
+    parser.add_argument("--serve", metavar="PORT", type=int, default=None,
+                        help="serve the in-flight run over HTTP on this "
+                             "port (0 = ephemeral): /metrics (Prometheus), "
+                             "/healthz, /alerts")
     parser.add_argument("--invariants", default="off",
                         choices=list(INVARIANT_MODES),
                         help="round-level invariant auditing: log records "
@@ -546,6 +641,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "(newest valid checkpoint; falls back past "
                           "corrupted files)")
     run.set_defaults(func=cmd_run)
+
+    watch = sub.add_parser(
+        "watch",
+        help="run a simulation with a live per-round terminal view and "
+             "SLO alerting (the default ruleset unless --slo is given)")
+    watch.add_argument("--scheduler", default="sia")
+    _add_trace_options(watch)
+    _add_sim_options(watch)
+    watch.add_argument("--resume-from", metavar="PATH",
+                       help="resume from a checkpoint file or directory")
+    watch.set_defaults(func=cmd_run, watch=True)
 
     chaos = sub.add_parser(
         "chaos",

@@ -26,6 +26,7 @@ from repro.jobs.job import Job
 from repro.obs.audit import AllocationEvent
 from repro.obs.diff import RunDiff
 from repro.obs.ledger import GoodputLedger, LedgerEntry
+from repro.obs.slo import Alert
 from repro.sim.telemetry import (FaultEvent, JobRecord, RoundRecord,
                                  SimulationResult)
 from repro.workloads.trace import Trace
@@ -164,6 +165,8 @@ def _round_to_dict(record: RoundRecord) -> dict[str, Any]:
         data["events"] = [e.to_dict() for e in record.events]
     if record.health_events:
         data["health_events"] = [e.to_dict() for e in record.health_events]
+    if record.alerts:
+        data["alerts"] = [a.to_dict() for a in record.alerts]
     return data
 
 
@@ -184,6 +187,9 @@ def save_result(result: SimulationResult, path: str | Path, *,
         "fault_counts": result.fault_counts(),
         "backend_counts": result.backend_counts(),
     }
+    alert_counts = result.alert_counts()
+    if alert_counts:
+        payload["alert_counts"] = alert_counts
     if result.final_metrics:
         payload["final_metrics"] = dict(result.final_metrics)
     counts = result.resilience_counts()
@@ -206,6 +212,7 @@ def load_result(path: str | Path) -> SimulationResult:
         final_metrics=dict(payload.get("final_metrics", {})),
         saved_fault_counts=payload.get("fault_counts"),
         saved_backend_counts=payload.get("backend_counts"),
+        saved_alert_counts=payload.get("alert_counts"),
         run_spec=payload.get("run_spec"),
     )
     for item in payload["jobs"]:
@@ -241,7 +248,8 @@ def load_result(path: str | Path) -> SimulationResult:
             events=[AllocationEvent.from_dict(e)
                     for e in item.get("events", [])],
             health_events=[HealthEvent.from_dict(e)
-                           for e in item.get("health_events", [])]))
+                           for e in item.get("health_events", [])],
+            alerts=[Alert.from_dict(a) for a in item.get("alerts", [])]))
     return result
 
 
@@ -287,11 +295,57 @@ def load_ledger(path: str | Path,
             entries.append(LedgerEntry.from_dict(item))
         elif kind == "alloc_event":
             events.append(AllocationEvent.from_dict(item["event"]))
+        elif kind == "ledger_end":
+            # Completeness trailer appended by the live streamer
+            # (:class:`repro.obs.stream.LedgerStreamObserver`); its absence
+            # on a ``.part`` file marks a truncated crash prefix.
+            pass
         else:
             raise ValueError(f"unknown ledger line kind {kind!r}")
     if not header_seen:
         raise ValueError(f"{path} is not a ledger JSONL (missing header)")
     return GoodputLedger(entries), events
+
+
+# -- SLO alerts (JSONL) --------------------------------------------------------
+
+def save_alerts(result: SimulationResult, path: str | Path) -> None:
+    """Export every fired SLO alert as JSONL: a header line plus one
+    ``alert`` line per alert, in round order.  This matches the live
+    stream written by :class:`repro.obs.stream.AlertStreamObserver`
+    (which adds an ``alerts_end`` trailer); :func:`load_alerts` reads
+    both."""
+    lines = [json.dumps({
+        "kind": "alerts", "format_version": FORMAT_VERSION,
+        "scheduler_name": result.scheduler_name,
+    })]
+    for _, alert in result.alerts_timeline():
+        lines.append(json.dumps({"kind": "alert", **alert.to_dict()}))
+    atomic_write_text(path, "\n".join(lines) + "\n")
+
+
+def load_alerts(path: str | Path) -> list[Alert]:
+    """Read an alerts JSONL file (``--alerts-out``) back into
+    :class:`~repro.obs.slo.Alert` objects, in file order."""
+    alerts: list[Alert] = []
+    header_seen = False
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        item = json.loads(line)
+        kind = item.get("kind")
+        if kind == "alerts":
+            _check_payload(item, "alerts")
+            header_seen = True
+        elif kind == "alert":
+            alerts.append(Alert.from_dict(item))
+        elif kind == "alerts_end":
+            pass  # streamer's completeness trailer
+        else:
+            raise ValueError(f"unknown alerts line kind {kind!r}")
+    if not header_seen:
+        raise ValueError(f"{path} is not an alerts JSONL (missing header)")
+    return alerts
 
 
 # -- health events (JSONL) ----------------------------------------------------

@@ -13,6 +13,14 @@
 * :mod:`repro.obs.diff`    — cross-run decision diff: align two futures of
   one run (:class:`RunDiff`, divergence detection, ledger alignment) for
   the counterfactual replay engine.
+* :mod:`repro.obs.window`  — O(1)-per-round online aggregates: rolling
+  percentile windows, EMAs, and rates over per-round series.
+* :mod:`repro.obs.slo`     — declarative SLO rules evaluated live each
+  round, firing :class:`Alert` events with ledger/audit/health-backed
+  causal context (burn-rate semantics).
+* :mod:`repro.obs.stream`  — live exporters: incremental JSONL streaming
+  with atomic finalize, Prometheus text exposition, an in-flight HTTP
+  endpoint, and the ``repro watch`` terminal view.
 
 Attach a tracer to a simulation via ``SimulatorConfig(tracer=Tracer())``
 (the CLI's ``--trace-out``/``--events-out`` do this for you), then read
@@ -25,14 +33,24 @@ from repro.obs.audit import (AllocationEvent, AuditTrail, classify_change,
 from repro.obs.diff import (AllocDelta, DivergencePoint, MetricDelta,
                             RoundDelta, RunDiff, aligned_ledger_deltas,
                             compare_runs, fault_recovery_seconds)
-from repro.obs.export import (chrome_trace, read_events_jsonl,
+from repro.obs.export import (alert_digest, chrome_trace, read_events_jsonl,
                               run_diff_markdown, run_digest, span_digest,
                               validate_chrome_trace, write_chrome_trace,
                               write_events_jsonl, write_run_diff_jsonl)
-from repro.obs.ledger import GoodputLedger, LedgerEntry, queue_wait_by_job
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.ledger import (GoodputLedger, LedgerEntry, queue_wait_by_job,
+                              round_entries)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               interpolated_quantile)
+from repro.obs.slo import (Alert, SLOEngine, SLORule, alert_summary,
+                           default_rules, evaluate_result, parse_rules)
+from repro.obs.stream import (AlertStreamObserver, EventStreamObserver,
+                              JsonlStreamWriter, LedgerStreamObserver,
+                              MetricsHTTPServer, PrometheusSnapshotObserver,
+                              RoundObserver, SLOObserver, WatchView,
+                              parse_prometheus_text, prometheus_text)
 from repro.obs.tracer import (NULL_TRACER, PLAN_PHASES, NullTracer,
                               SpanRecord, SpanStats, Tracer)
+from repro.obs.window import EMA, RollingRate, RollingWindow
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "PLAN_PHASES", "SpanRecord",
@@ -40,10 +58,19 @@ __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
     "write_events_jsonl", "read_events_jsonl", "span_digest", "run_digest",
+    "alert_digest",
     "GoodputLedger", "LedgerEntry", "queue_wait_by_job",
     "AllocationEvent", "AuditTrail", "classify_change", "event_counts",
     "events_for_job", "migration_flows",
     "AllocDelta", "DivergencePoint", "MetricDelta", "RoundDelta", "RunDiff",
     "aligned_ledger_deltas", "compare_runs", "fault_recovery_seconds",
     "run_diff_markdown", "write_run_diff_jsonl",
+    "interpolated_quantile", "round_entries",
+    "RollingWindow", "EMA", "RollingRate",
+    "Alert", "SLORule", "SLOEngine", "default_rules", "parse_rules",
+    "evaluate_result", "alert_summary",
+    "RoundObserver", "JsonlStreamWriter", "EventStreamObserver",
+    "LedgerStreamObserver", "AlertStreamObserver", "SLOObserver",
+    "PrometheusSnapshotObserver", "MetricsHTTPServer", "WatchView",
+    "prometheus_text", "parse_prometheus_text",
 ]

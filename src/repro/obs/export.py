@@ -228,23 +228,60 @@ def span_digest(spans: Sequence[SpanRecord]) -> str:
     return "\n".join(lines)
 
 
+def alert_digest(result: Any) -> str:
+    """Alert/SLO digest block: fired alerts by rule plus the final burn-rate
+    gauges.  Empty string when the run was not SLO-observed (nothing to
+    say), so callers can splice it in conditionally."""
+    counts = result.alert_counts() if hasattr(result, "alert_counts") else {}
+    metrics = getattr(result, "final_metrics", None) or {}
+    burns = {k[len("slo.burn_rate."):]: v for k, v in metrics.items()
+             if k.startswith("slo.burn_rate.")}
+    if not counts and not burns:
+        return ""
+    lines = ["slo alerts:"]
+    if counts:
+        for rule in sorted(counts, key=lambda r: (-counts[r], r)):
+            burn = burns.pop(rule, None)
+            tail = f" (final burn rate {burn:.2f})" if burn is not None else ""
+            lines.append(f"  {rule}: {counts[rule]} alert(s){tail}")
+    else:
+        lines.append("  (none fired)")
+    for rule in sorted(burns):
+        lines.append(f"  {rule}: 0 alert(s) "
+                     f"(final burn rate {burns[rule]:.2f})")
+    return "\n".join(lines)
+
+
 def run_digest(result: Any) -> str:
     """Observability digest for one :class:`SimulationResult`-like object
-    (anything with ``spans``, ``final_metrics``, ``rounds``)."""
+    (anything with ``spans``, ``final_metrics``, ``rounds``).  Degenerate
+    inputs — no rounds (saved with ``include_rounds=False``), no spans, or
+    no metrics snapshot — each get an explicit line instead of a silently
+    missing section."""
     sections = [f"== observability digest: {result.scheduler_name} =="]
-    breakdown = result.phase_time_breakdown()
-    total_solve = sum(r.solve_time for r in result.rounds)
-    if any(v > 0 for v in breakdown.values()):
-        parts = ", ".join(f"{k}={v:.4f}s" for k, v in breakdown.items())
-        sections.append(f"phase breakdown: {parts} "
-                        f"(recorded solve_time total: {total_solve:.4f}s)")
+    rounds = result.rounds
+    if rounds:
+        breakdown = result.phase_time_breakdown()
+        total_solve = sum(r.solve_time for r in rounds)
+        if any(v > 0 for v in breakdown.values()):
+            parts = ", ".join(f"{k}={v:.4f}s" for k, v in breakdown.items())
+            sections.append(f"phase breakdown: {parts} "
+                            f"(recorded solve_time total: {total_solve:.4f}s)")
+    else:
+        sections.append("(no per-round records; the result was saved "
+                        "without rounds)")
     if result.spans:
         sections.append(span_digest(result.spans))
     else:
         sections.append("(tracing disabled; rerun with --trace-out or "
                         "--events-out for spans)")
+    alerts = alert_digest(result)
+    if alerts:
+        sections.append(alerts)
     if result.final_metrics:
         sections.append("metrics:")
         sections.extend(f"  {k}: {v:g}"
                         for k, v in sorted(result.final_metrics.items()))
+    else:
+        sections.append("(no metrics snapshot recorded)")
     return "\n".join(sections)

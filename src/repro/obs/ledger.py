@@ -76,6 +76,21 @@ class LedgerEntry:
             realized_throughput=data.get("realized_throughput"))
 
 
+def round_entries(rnd: Any, round_index: int) -> list[LedgerEntry]:
+    """Ledger entries of one :class:`RoundRecord`, in the canonical sorted
+    job order.  Shared by :meth:`GoodputLedger.from_result` and the live
+    JSONL streamer (:mod:`repro.obs.stream`), so a ledger streamed round by
+    round loads back identical to one rebuilt post hoc."""
+    return [LedgerEntry(
+        round_index=round_index, time=rnd.time, job_id=job_id,
+        gpu_type=rnd.allocations[job_id][0],
+        num_gpus=rnd.allocations[job_id][1],
+        estimated_goodput=rnd.estimates.get(job_id),
+        realized_goodput=rnd.realized.get(job_id),
+        realized_throughput=rnd.throughputs.get(job_id))
+        for job_id in sorted(rnd.allocations)]
+
+
 class GoodputLedger:
     """Every (round, job) allocation of one run, with derived series."""
 
@@ -93,14 +108,7 @@ class GoodputLedger:
         or loaded from JSON; requires per-round records)."""
         entries: list[LedgerEntry] = []
         for idx, rnd in enumerate(result.rounds):
-            for job_id in sorted(rnd.allocations):
-                gpu_type, count = rnd.allocations[job_id]
-                entries.append(LedgerEntry(
-                    round_index=idx, time=rnd.time, job_id=job_id,
-                    gpu_type=gpu_type, num_gpus=count,
-                    estimated_goodput=rnd.estimates.get(job_id),
-                    realized_goodput=rnd.realized.get(job_id),
-                    realized_throughput=rnd.throughputs.get(job_id)))
+            entries.extend(round_entries(rnd, idx))
         return cls(entries)
 
     def __len__(self) -> int:

@@ -12,6 +12,27 @@ from __future__ import annotations
 import math
 
 
+def interpolated_quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted list, q in [0, 1].
+
+    The single quantile definition shared by post-hoc histograms
+    (:meth:`Histogram.quantile`) and the online rolling windows
+    (:mod:`repro.obs.window`), matching numpy's default ("linear")
+    interpolation — so live SLO evaluation and after-the-fact analysis
+    always agree on what "p95" means.  Empty input reports 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q!r}")
+    if not ordered:
+        return 0.0
+    pos = (len(ordered) - 1) * q
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
 class Counter:
     """Monotonically increasing count (rounds planned, faults injected...)."""
 
@@ -80,15 +101,13 @@ class Histogram:
         """Linear-interpolated percentile, q in [0, 100]."""
         if not 0 <= q <= 100:
             raise ValueError("q must be in [0, 100]")
-        if not self.values:
-            return 0.0
-        ordered = sorted(self.values)
-        pos = (len(ordered) - 1) * q / 100.0
-        lo = math.floor(pos)
-        hi = math.ceil(pos)
-        if lo == hi:
-            return ordered[lo]
-        return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+        return self.quantile(q / 100.0)
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile, q in [0, 1] — numpy's default
+        interpolation, shared with the rolling windows of
+        :mod:`repro.obs.window` via :func:`interpolated_quantile`."""
+        return interpolated_quantile(sorted(self.values), q)
 
 
 class MetricsRegistry:
@@ -120,6 +139,12 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._metrics)
+
+    def items(self) -> list[tuple[str, "Counter | Gauge | Histogram"]]:
+        """(name, metric) pairs in sorted name order — the exporter view
+        (:func:`repro.obs.stream.prometheus_text` needs metric *types*,
+        which the flat :meth:`snapshot` erases)."""
+        return [(name, self._metrics[name]) for name in sorted(self._metrics)]
 
     def snapshot(self) -> dict[str, float]:
         """Flat name -> value view of every metric (histograms contribute

@@ -41,8 +41,12 @@ if TYPE_CHECKING:
     from repro.sim.engine import Simulator
     from repro.sim.telemetry import RoundRecord, SimulationResult
 
-#: metric-key prefixes excluded from equivalence comparison (host timing).
-EXCLUDED_METRIC_PREFIXES = ("solve_time_s", "checkpoint")
+#: metric-key prefixes excluded from equivalence comparison: host timing
+#: ("solve_time_s", "checkpoint") plus the live-telemetry plane ("slo.",
+#: "stream.") — SLO burn-rate gauges and stream counters exist only on
+#: observed runs and may derive from wall-clock series, yet must never
+#: make an observed run diff against an unobserved one.
+EXCLUDED_METRIC_PREFIXES = ("solve_time_s", "checkpoint", "slo.", "stream.")
 
 
 class SimulatedCrash(RuntimeError):
@@ -91,6 +95,9 @@ def _filter_metrics(metrics: dict[str, float]) -> dict[str, float]:
             if not k.startswith(EXCLUDED_METRIC_PREFIXES)}
 
 
+# RoundRecord.alerts and .solve_time are deliberately absent: alerts fire
+# only on SLO-observed runs (and may depend on wall-clock latency series),
+# so comparing them would make observation itself a "divergence".
 _ROUND_FIELDS = ("time", "active_jobs", "running_jobs", "allocations",
                  "gpus_used", "backend", "degraded", "fault_events",
                  "estimates", "realized", "throughputs", "events",

@@ -106,6 +106,13 @@ class SimulatorConfig:
     #: scheduler's cluster view, and discounts probation nodes' goodputs.
     #: Its state (scores, backoffs) is part of the engine checkpoint.
     health: HealthConfig | None = None
+    #: live telemetry hooks (:mod:`repro.obs.stream`): objects with
+    #: ``on_round(result, round_index, dt)`` / ``on_finalize(result)`` /
+    #: ``close()``, invoked after every recorded round and at run end.
+    #: Observers are read-only with respect to simulation state (the
+    #: determinism contract) and are never checkpointed — a resumed run's
+    #: observers catch up from the restored ``result.rounds``.
+    observers: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.invariants not in INVARIANT_MODES:
@@ -268,7 +275,15 @@ class Simulator:
             self._restore(resume_from)
         else:
             self._init_fresh()
-        self._run_loop(max_rounds=None)
+        try:
+            self._run_loop(max_rounds=None)
+        except BaseException:
+            # Crashed (or interrupted) mid-run: close stream observers
+            # without finalizing, leaving their flushed ``.part`` prefixes
+            # on disk for post-mortem reads.
+            for observer in self.config.observers:
+                observer.close()
+            raise
         return self._finalize(self.config.max_hours * 3600.0)
 
     def run_to_round(self,
@@ -356,6 +371,11 @@ class Simulator:
                                          dt, len(result.rounds))
             result.rounds.append(record)
             self._now += dt
+            # Live telemetry fires on the *recorded* round, before the
+            # checkpoint/crash hooks — so a kill at the round boundary has
+            # already flushed this round's stream lines.
+            for observer in self.config.observers:
+                observer.on_round(result, len(result.rounds) - 1, dt)
             self._maybe_checkpoint(len(result.rounds))
             self._crash_point("round_end", len(result.rounds))
 
@@ -383,6 +403,8 @@ class Simulator:
         result.jobs.sort(key=lambda r: (r.submit_time, r.job_id))
         result.spans = list(self.tracer.spans)
         result.final_metrics = self.metrics.snapshot()
+        for observer in self.config.observers:
+            observer.on_finalize(result)
         return result
 
     # -- checkpoint/restore ----------------------------------------------------

@@ -120,6 +120,11 @@ class RoundRecord:
     #: recover/drain/evict) the health tracker emitted this round
     #: (:class:`repro.core.health.HealthEvent`; empty without the layer).
     health_events: list = field(default_factory=list)
+    #: SLO alerts fired on this round (:class:`repro.obs.slo.Alert`; empty
+    #: unless an SLO observer was attached).  Deliberately *outside* the
+    #: chaos determinism oracle's compared fields: alerts may derive from
+    #: wall-clock series (round latency) and only exist on observed runs.
+    alerts: list = field(default_factory=list)
 
 
 @dataclass
@@ -140,12 +145,15 @@ class SimulationResult:
     spans: list[SpanRecord] = field(default_factory=list, repr=False)
     #: final metrics snapshot at the end of the run.
     final_metrics: dict[str, float] = field(default_factory=dict)
-    #: fault/backend summaries restored by repro.io when the per-round
-    #: records were not serialized (None while rounds are authoritative).
+    #: fault/backend/alert summaries restored by repro.io when the
+    #: per-round records were not serialized (None while rounds are
+    #: authoritative).
     saved_fault_counts: dict[str, int] | None = field(default=None,
                                                       repr=False)
     saved_backend_counts: dict[str, int] | None = field(default=None,
                                                         repr=False)
+    saved_alert_counts: dict[str, int] | None = field(default=None,
+                                                      repr=False)
     #: construction recipe of this run (scheduler/cluster/config/job list),
     #: recorded by the CLI and serialized by repro.io so the counterfactual
     #: replay engine can rebuild the simulator and fork it at any round.
@@ -293,6 +301,20 @@ class SimulationResult:
         :func:`repro.io.load_health_events` reads back."""
         return [(index, event) for index, rnd in enumerate(self.rounds)
                 for event in rnd.health_events]
+
+    # -- SLO alerts ------------------------------------------------------------
+
+    def alerts_timeline(self) -> list:
+        """Every SLO alert in simulation-time order, as
+        ``(round_index, Alert)`` pairs (empty for unobserved runs)."""
+        return [(index, alert) for index, rnd in enumerate(self.rounds)
+                for alert in rnd.alerts]
+
+    def alert_counts(self) -> dict[str, int]:
+        """Fired SLO alerts by rule name, over the whole run."""
+        return self._summary_counts(
+            self.saved_alert_counts,
+            lambda rnd: (alert.rule for alert in rnd.alerts))
 
     def health_counts(self) -> dict[str, int]:
         """Gray-failure defense counters — health transitions by kind,

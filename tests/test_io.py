@@ -88,6 +88,91 @@ class TestResultRoundtrip:
         assert len(loaded.jobs) == len(result.jobs)
 
 
+class TestAlertsRoundtrip:
+    @pytest.fixture(scope="class")
+    def alerted(self):
+        """A short run SLO-observed under a rule that always fires."""
+        from repro.obs.slo import SLOEngine, SLORule
+        from repro.obs.stream import SLOObserver
+        cluster = presets.heterogeneous()
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.05)]
+        engine = SLOEngine([SLORule(
+            name="always", metric="rounds_planned", target=0.0,
+            comparison="<=", window=4, error_budget=0.5, min_samples=1,
+            cooldown=1)])
+        result = simulate(cluster, SiaScheduler(), jobs,
+                          observers=[SLOObserver(engine)])
+        assert result.alert_counts()  # the fixture must actually alert
+        return result
+
+    def test_result_json_preserves_alerts(self, alerted, tmp_path):
+        path = tmp_path / "result.json"
+        io.save_result(alerted, path)
+        loaded = io.load_result(path)
+        assert loaded.alerts_timeline() == alerted.alerts_timeline()
+        assert loaded.alert_counts() == alerted.alert_counts()
+
+    def test_alert_counts_survive_without_rounds(self, alerted, tmp_path):
+        path = tmp_path / "slim.json"
+        io.save_result(alerted, path, include_rounds=False)
+        loaded = io.load_result(path)
+        assert loaded.rounds == []
+        assert loaded.alert_counts() == alerted.alert_counts()
+
+    def test_unalerted_result_json_has_no_alert_keys(self, tmp_path):
+        cluster = presets.heterogeneous()
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.05)]
+        result = simulate(cluster, SiaScheduler(), jobs)
+        path = tmp_path / "result.json"
+        io.save_result(result, path)
+        payload = json.loads(path.read_text())
+        assert "alert_counts" not in payload
+        assert all("alerts" not in rnd for rnd in payload["rounds"])
+
+    def test_save_load_alerts_jsonl(self, alerted, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        io.save_alerts(alerted, path)
+        alerts = io.load_alerts(path)
+        assert alerts == [a for _, a in alerted.alerts_timeline()]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_load_alerts_requires_header(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        path.write_text(json.dumps({"kind": "alert", "rule": "r",
+                                    "metric": "m", "round_index": 0,
+                                    "time": 0.0, "value": 1.0,
+                                    "target": 0.0, "comparison": "<=",
+                                    "burn_rate": 1.0, "window": 1}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            io.load_alerts(path)
+
+    def test_load_alerts_rejects_unknown_kind(self, alerted, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        io.save_alerts(alerted, path)
+        with path.open("a") as fh:
+            fh.write(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(ValueError, match="mystery"):
+            io.load_alerts(path)
+
+
+class TestLedgerTrailerAcceptance:
+    def test_load_ledger_accepts_streamed_trailer(self, tmp_path):
+        """save_ledger output plus a streamed ``ledger_end`` trailer (what
+        LedgerStreamObserver appends) must load identically."""
+        cluster = presets.heterogeneous()
+        jobs = [make_job("j0", "resnet18", 0.0, work_scale=0.05)]
+        result = simulate(cluster, SiaScheduler(), jobs)
+        path = tmp_path / "ledger.jsonl"
+        io.save_ledger(result, path)
+        ledger, events = io.load_ledger(path)
+        with path.open("a") as fh:
+            fh.write(json.dumps({"kind": "ledger_end",
+                                 "num_rounds": len(result.rounds)}) + "\n")
+        again, again_events = io.load_ledger(path)
+        assert again.entries == ledger.entries
+        assert again_events == events
+
+
 class TestAtomicWriters:
     """Every repro.io writer goes through the shared atomic helper: a crash
     mid-save must never truncate an existing artifact."""

@@ -174,6 +174,30 @@ class TestMetrics:
         with pytest.raises(ValueError):
             h.percentile(101)
 
+    def test_quantile_matches_numpy_reference(self):
+        import numpy as np
+        import random
+        rng = random.Random(23)
+        h = Histogram("t")
+        values = [rng.lognormvariate(0.0, 1.0) for _ in range(101)]
+        for v in values:
+            h.observe(v)
+        for q in (0.0, 0.05, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(
+                float(np.quantile(np.asarray(values), q, method="linear")),
+                rel=1e-12)
+        # percentile() is the [0, 100]-scaled view of the same definition.
+        assert h.percentile(95) == h.quantile(0.95)
+
+    def test_registry_items_exposes_types(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(1)
+        items = reg.items()
+        assert [name for name, _ in items] == ["a", "b"]  # sorted
+        assert isinstance(items[0][1], Gauge)
+        assert isinstance(items[1][1], Counter)
+
     def test_registry_get_or_create(self):
         reg = MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")
@@ -445,3 +469,38 @@ class TestRunDigest:
     def test_digest_for_untraced_run(self, hetero_cluster):
         result = simulate(hetero_cluster, SiaScheduler(), [tiny_job()])
         assert "tracing disabled" in run_digest(result)
+
+    def test_digest_degenerate_result(self):
+        """A bare result — no rounds, no spans, no metrics snapshot — must
+        still digest cleanly, with an explicit line per missing section."""
+        result = SimulationResult(scheduler_name="s", cluster_description="c")
+        text = run_digest(result)
+        assert "no per-round records" in text
+        assert "tracing disabled" in text
+        assert "no metrics snapshot" in text
+
+    def test_digest_rounds_without_metrics(self, hetero_cluster, tmp_path):
+        result = simulate(hetero_cluster, SiaScheduler(), [tiny_job()])
+        path = tmp_path / "slim.json"
+        io.save_result(result, path, include_rounds=False)
+        text = run_digest(io.load_result(path))
+        assert "no per-round records" in text
+        assert "rounds_planned" in text  # final metrics still survive
+
+    def test_digest_includes_alert_section(self, hetero_cluster):
+        from repro.obs.slo import SLOEngine, SLORule
+        from repro.obs.stream import SLOObserver
+        engine = SLOEngine([SLORule(name="always", metric="rounds_planned",
+                                    target=0.0, comparison="<=", window=4,
+                                    error_budget=0.5, min_samples=1)])
+        result = simulate(hetero_cluster, SiaScheduler(), [tiny_job()],
+                          observers=[SLOObserver(engine)])
+        text = run_digest(result)
+        assert "slo alerts:" in text
+        assert "always: 1 alert(s)" in text
+
+    def test_alert_digest_empty_without_slo(self, hetero_cluster):
+        from repro.obs.export import alert_digest
+        result = simulate(hetero_cluster, SiaScheduler(), [tiny_job()])
+        assert alert_digest(result) == ""
+        assert "slo alerts" not in run_digest(result)

@@ -1,0 +1,199 @@
+"""Tests for repro.obs.window: O(1)-per-round online aggregates.
+
+The correctness bar is the offline reference: at every step of a seeded
+series, a RollingWindow's quantiles/extrema/sum must equal a from-scratch
+recompute (numpy over the same trailing slice), and an EMA must equal the
+closed-form fold.  Window-boundary and NaN edges get explicit cases.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import interpolated_quantile
+from repro.obs.window import EMA, RollingRate, RollingWindow
+
+
+def seeded_series(n=400, seed=7):
+    rng = random.Random(seed)
+    return [rng.lognormvariate(0.0, 1.5) for _ in range(n)]
+
+
+class TestRollingWindowAgainstRecompute:
+    @pytest.mark.parametrize("size", [1, 2, 7, 50])
+    def test_quantiles_match_numpy_at_every_step(self, size):
+        window = RollingWindow(size)
+        series = seeded_series(120)
+        for i, value in enumerate(series):
+            window.push(value)
+            tail = np.asarray(series[max(0, i + 1 - size):i + 1])
+            for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+                assert window.quantile(q) == pytest.approx(
+                    float(np.quantile(tail, q, method="linear")),
+                    rel=1e-12), f"step {i} q={q}"
+
+    def test_sum_mean_extrema_match_recompute(self):
+        window = RollingWindow(16)
+        series = seeded_series(200, seed=11)
+        for i, value in enumerate(series):
+            window.push(value)
+            tail = series[max(0, i - 15):i + 1]
+            assert window.sum == pytest.approx(sum(tail))
+            assert window.mean == pytest.approx(sum(tail) / len(tail))
+            assert window.min == min(tail)
+            assert window.max == max(tail)
+            assert len(window) == len(tail)
+
+    def test_values_returns_arrival_order(self):
+        window = RollingWindow(3)
+        for v in (5.0, 1.0, 4.0, 2.0):
+            window.push(v)
+        assert window.values() == [1.0, 4.0, 2.0]
+
+    def test_matches_post_hoc_histogram_quantile(self):
+        # The shared-interpolation contract: an online rolling quantile
+        # over a full window equals Histogram.quantile over those values.
+        from repro.obs.metrics import Histogram
+        series = seeded_series(30, seed=3)
+        window = RollingWindow(30)
+        hist = Histogram("t")
+        for v in series:
+            window.push(v)
+            hist.observe(v)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert window.quantile(q) == hist.quantile(q)
+
+
+class TestWindowBoundaries:
+    def test_eviction_at_exact_capacity(self):
+        window = RollingWindow(3)
+        for v in (1.0, 2.0, 3.0):
+            window.push(v)
+        assert window.full
+        window.push(10.0)  # evicts 1.0
+        assert len(window) == 3
+        assert window.min == 2.0 and window.max == 10.0
+        assert window.sum == pytest.approx(15.0)
+
+    def test_duplicate_values_evict_one_copy(self):
+        window = RollingWindow(2)
+        window.push(5.0)
+        window.push(5.0)
+        window.push(1.0)  # evicts one 5.0, not both
+        assert sorted(window.values()) == [1.0, 5.0]
+        assert window.sum == pytest.approx(6.0)
+
+    def test_size_one_window_tracks_last_value(self):
+        window = RollingWindow(1)
+        for v in (9.0, 2.0, 7.0):
+            window.push(v)
+            assert window.quantile(0.5) == v
+            assert window.min == window.max == v
+
+    def test_empty_window_statistics(self):
+        window = RollingWindow(5)
+        assert len(window) == 0 and not window.full
+        assert window.mean == 0.0 and window.sum == 0.0
+        assert window.quantile(0.5) == 0.0  # documented empty-input value
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            RollingWindow(0)
+
+    def test_quantile_range_validated(self):
+        window = RollingWindow(4)
+        window.push(1.0)
+        with pytest.raises(ValueError):
+            window.quantile(1.5)
+        with pytest.raises(ValueError):
+            window.quantile(-0.1)
+
+
+class TestNaNDefense:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_rejected_and_counted(self, bad):
+        window = RollingWindow(4)
+        window.push(1.0)
+        window.push(bad)
+        window.push(2.0)
+        assert window.nan_count == 1
+        assert len(window) == 2
+        assert window.quantile(1.0) == 2.0  # never poisoned by the NaN
+
+    def test_ema_skips_non_finite(self):
+        ema = EMA(alpha=0.5)
+        ema.push(4.0)
+        ema.push(float("nan"))
+        ema.push(8.0)
+        assert ema.nan_count == 1
+        assert ema.count == 2
+        assert ema.value == pytest.approx(6.0)
+
+
+class TestEMA:
+    def test_first_sample_seeds_the_average(self):
+        ema = EMA(alpha=0.1)
+        assert ema.value is None
+        ema.push(3.0)
+        assert ema.value == 3.0
+
+    def test_matches_closed_form_fold(self):
+        alpha = 0.3
+        ema = EMA(alpha=alpha)
+        series = seeded_series(50, seed=5)
+        expected = series[0]
+        ema.push(series[0])
+        for v in series[1:]:
+            ema.push(v)
+            expected = alpha * v + (1 - alpha) * expected
+            assert ema.value == pytest.approx(expected, rel=1e-12)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            EMA(alpha=0.0)
+        with pytest.raises(ValueError):
+            EMA(alpha=1.5)
+
+
+class TestRollingRate:
+    def test_rate_over_partial_and_full_window(self):
+        rate = RollingRate(4)
+        assert rate.rate == 0.0
+        rate.push(True)
+        assert rate.rate == 1.0
+        rate.push(False)
+        assert rate.rate == 0.5
+        for _ in range(4):
+            rate.push(True)
+        assert len(rate) == 4
+        assert rate.rate == 1.0  # the early False rolled out
+
+    def test_eviction_decrements_true_count(self):
+        rate = RollingRate(2)
+        rate.push(True)
+        rate.push(True)
+        rate.push(False)
+        assert rate.count == 1
+        assert rate.rate == 0.5
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            RollingRate(0)
+
+
+class TestInterpolatedQuantile:
+    def test_matches_numpy_linear_on_random_series(self):
+        rng = random.Random(13)
+        values = sorted(rng.uniform(-5, 5) for _ in range(37))
+        for q in (0.0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0):
+            assert interpolated_quantile(values, q) == pytest.approx(
+                float(np.quantile(np.asarray(values), q, method="linear")),
+                rel=1e-12)
+
+    def test_single_element(self):
+        assert interpolated_quantile([42.0], 0.95) == 42.0
+
+    def test_empty_reports_zero(self):
+        assert interpolated_quantile([], 0.5) == 0.0
