@@ -1,16 +1,22 @@
-"""Policy-pipeline microbenchmarks: vectorized vs scalar goodput pass.
+"""Policy-pipeline microbenchmarks: goodput pass + solver tiers at scale.
 
 Measures, per (cluster size, job count) point:
 
 * full policy round latency (bootstrap + goodput_eval + solve + placement),
-  vectorized and scalar, via the observability phase spans;
+  vectorized and scalar, via the observability phase spans (sizes <= 256 —
+  the scalar pipeline is too slow to be worth timing beyond that);
+* per-solver-backend columns (``milp``, ``lp_round``, ``decomposed``,
+  ``tiered``): round latency, solve-phase time, first-round objective and
+  its gap vs the MILP reference when the MILP column ran — the solver-tier
+  scaling story up to 4096 GPUs / 1024 jobs;
 * the goodput_eval speedup the vectorized pipeline delivers;
 * steady-state estimator cache hit rate across consecutive rounds.
 
 Results land in ``BENCH_policy.json``.  ``--check-baseline`` compares the
 vectorized round latencies against a committed baseline and exits non-zero
 on a > ``--regression-factor`` (default 2x) slowdown, which is how CI gates
-performance regressions.
+performance regressions.  ``--sizes`` / ``--backends`` narrow a run (CI
+uses ``--sizes 1024`` for the large-point gate without paying for 4096).
 
 ``--stream-overhead`` instead measures what the live telemetry plane
 (streaming JSONL exporters + SLO evaluation, see ``repro.obs.stream``)
@@ -43,6 +49,18 @@ from repro.workloads import helios_trace
 #: active jobs per 64 GPUs (paper-proportional load, as in Figure 9).
 JOBS_PER_64 = 16
 
+#: largest size where the scalar goodput pipeline and the exact-MILP
+#: reference column are still affordable to time.
+FULL_COMPARE_MAX_GPUS = 256
+
+
+def default_backends(size: int) -> tuple[str, ...]:
+    """Solver columns per point: the MILP reference is measured only where
+    it is affordable; the fast tiers are measured everywhere."""
+    if size <= FULL_COMPARE_MAX_GPUS:
+        return ("milp", "lp_round", "decomposed", "tiered")
+    return ("lp_round", "decomposed", "tiered")
+
 
 def make_views(scheduler, cluster, n_jobs: int) -> list[JobView]:
     trace = helios_trace(seed=4, num_jobs=n_jobs)
@@ -67,14 +85,19 @@ def run_rounds(scheduler, cluster, views, rounds: int) -> dict:
     feasible (job, config) pair is evaluated exactly once.  The earlier
     warm rounds measure the latency jobs actually see (cache hits included).
     """
+    from repro.obs.metrics import MetricsRegistry
+
     tracer = Tracer()
     scheduler.tracer = tracer
+    scheduler.metrics = MetricsRegistry()
     latencies = []
+    objectives = []
     previous: dict = {}
     for r in range(rounds):
         start = time.perf_counter()
         plan = scheduler.decide(views, cluster, previous, 60.0 * r)
         latencies.append(time.perf_counter() - start)
+        objectives.append(plan.objective)
         previous = dict(plan.allocations)
         for view in views:
             alloc = plan.allocations.get(view.job_id)
@@ -83,6 +106,7 @@ def run_rounds(scheduler, cluster, views, rounds: int) -> dict:
     phases = {name: tracer.span_stats(name).total for name in PLAN_PHASES}
     hits = sum(getattr(v.estimator, "cache_hits", 0) for v in views)
     misses = sum(getattr(v.estimator, "cache_misses", 0) for v in views)
+    counters = scheduler.metrics.snapshot()
 
     for view in views:
         cache = getattr(view.estimator, "_goodput_cache", None)
@@ -93,34 +117,79 @@ def run_rounds(scheduler, cluster, views, rounds: int) -> dict:
     scheduler.decide(views, cluster, previous, 60.0 * rounds)
     return {
         "latencies": latencies,
+        "objectives": objectives,
         "phases": phases,
         "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         "eval_cold": cold_tracer.span_stats("goodput_eval").total,
+        "warm_start_hits": counters.get("solver.warm_start_hits", 0),
+        "reuse_skips": counters.get("solver.reuse_skips", 0),
     }
 
 
-def measure_point(size: int, n_jobs: int, rounds: int) -> dict:
+def _column(result: dict) -> dict:
+    return {
+        "round_latency_median": statistics.median(result["latencies"]),
+        "round_latency_first": result["latencies"][0],
+        "objective_first": result["objectives"][0],
+        "phase_totals": result["phases"],
+        "goodput_eval_cold": result["eval_cold"],
+        "cache_hit_rate": result["cache_hit_rate"],
+        "warm_start_hits": result["warm_start_hits"],
+        "reuse_skips": result["reuse_skips"],
+    }
+
+
+def measure_backend(cluster, n_jobs: int, rounds: int, solver: str,
+                    vectorized: bool = True) -> dict:
+    """One (point, solver backend) measurement from a fresh job trace."""
+    est_mod.DEFAULT_VECTORIZED = vectorized
+    try:
+        scheduler = SiaScheduler(SiaPolicyParams(vectorized=vectorized,
+                                                 solver=solver))
+        views = make_views(scheduler, cluster, n_jobs)
+        return run_rounds(scheduler, cluster, views, rounds)
+    finally:
+        est_mod.DEFAULT_VECTORIZED = True
+
+
+def measure_point(size: int, n_jobs: int, rounds: int,
+                  backends: tuple[str, ...] | None = None) -> dict:
     cluster = presets.scaled_heterogeneous(size)
     point: dict = {"gpus": size, "jobs": n_jobs, "rounds": rounds}
-    for label, vectorized in (("vectorized", True), ("scalar", False)):
-        est_mod.DEFAULT_VECTORIZED = vectorized
-        try:
-            scheduler = SiaScheduler(SiaPolicyParams(vectorized=vectorized))
-            views = make_views(scheduler, cluster, n_jobs)
-            result = run_rounds(scheduler, cluster, views, rounds)
-        finally:
-            est_mod.DEFAULT_VECTORIZED = True
-        point[label] = {
-            "round_latency_median": statistics.median(result["latencies"]),
-            "round_latency_first": result["latencies"][0],
-            "phase_totals": result["phases"],
-            "goodput_eval_cold": result["eval_cold"],
-            "cache_hit_rate": result["cache_hit_rate"],
-        }
-    scalar_eval = point["scalar"]["goodput_eval_cold"]
-    vector_eval = point["vectorized"]["goodput_eval_cold"]
-    point["goodput_eval_speedup"] = scalar_eval / vector_eval \
-        if vector_eval else float("inf")
+    if backends is None:
+        backends = default_backends(size)
+
+    point["backends"] = {}
+    for solver in backends:
+        point["backends"][solver] = _column(
+            measure_backend(cluster, n_jobs, rounds, solver))
+    # First-round objective gap vs the MILP reference (identical initial
+    # views per backend: same trace seed, no prior allocations).  Rigorous
+    # gap bounds live in tests/test_solver_tiers.py; this is the at-scale
+    # spot check.
+    milp_obj = point["backends"].get("milp", {}).get("objective_first")
+    if milp_obj:
+        for solver, column in point["backends"].items():
+            column["optimality_gap_first"] = \
+                (milp_obj - column["objective_first"]) / abs(milp_obj)
+
+    # The vectorized-vs-scalar goodput comparison (PR 4's story), and the
+    # legacy ``vectorized`` column the baseline gate reads.  Past the
+    # full-compare cutoff the scalar pipeline would dominate the wall
+    # clock, so the tiered column stands in as the gated latency.
+    if size <= FULL_COMPARE_MAX_GPUS:
+        point["vectorized"] = point["backends"].get("milp") or _column(
+            measure_backend(cluster, n_jobs, rounds, "milp"))
+        point["scalar"] = _column(
+            measure_backend(cluster, n_jobs, rounds, "milp",
+                            vectorized=False))
+        scalar_eval = point["scalar"]["goodput_eval_cold"]
+        vector_eval = point["vectorized"]["goodput_eval_cold"]
+        point["goodput_eval_speedup"] = scalar_eval / vector_eval \
+            if vector_eval else float("inf")
+    else:
+        point["vectorized"] = point["backends"].get("tiered") \
+            or next(iter(point["backends"].values()))
     return point
 
 
@@ -233,10 +302,13 @@ def measure_stream_overhead(quick: bool, repeats: int = 3) -> dict:
             "points": points}
 
 
-def run_bench(quick: bool) -> dict:
-    sizes = (64,) if quick else (64, 128, 256)
+def run_bench(quick: bool, sizes: tuple[int, ...] | None = None,
+              backends: tuple[str, ...] | None = None) -> dict:
+    if sizes is None:
+        sizes = (64,) if quick else (64, 128, 256, 1024, 4096)
     rounds = 2 if quick else 3
-    points = [measure_point(size, JOBS_PER_64 * (size // 64), rounds)
+    points = [measure_point(size, JOBS_PER_64 * (size // 64), rounds,
+                            backends=backends)
               for size in sizes]
     return {"benchmark": "policy_round", "jobs_per_64_gpus": JOBS_PER_64,
             "points": points}
@@ -264,6 +336,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smallest instance only (CI)")
+    parser.add_argument("--sizes", type=str, default=None,
+                        help="comma-separated GPU counts to measure "
+                             "(overrides --quick's size selection)")
+    parser.add_argument("--backends", type=str, default=None,
+                        help="comma-separated solver backends to column "
+                             "(default: per-size, MILP reference <= "
+                             f"{FULL_COMPARE_MAX_GPUS} GPUs only)")
     parser.add_argument("--out", type=Path, default=Path("BENCH_policy.json"))
     parser.add_argument("--check-baseline", type=Path, default=None,
                         help="baseline JSON to gate regressions against")
@@ -293,17 +372,30 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.out}")
         return 1 if failed else 0
 
-    report = run_bench(args.quick)
+    sizes = tuple(int(s) for s in args.sizes.split(",")) \
+        if args.sizes else None
+    backends = tuple(args.backends.split(",")) if args.backends else None
+    report = run_bench(args.quick, sizes=sizes, backends=backends)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
     for point in report["points"]:
         vec = point["vectorized"]
-        print(f"{point['gpus']:5d} GPUs / {point['jobs']:3d} jobs: "
-              f"round {vec['round_latency_median'] * 1e3:8.1f} ms "
-              f"(scalar {point['scalar']['round_latency_median'] * 1e3:8.1f}"
-              f" ms), goodput_eval speedup "
-              f"{point['goodput_eval_speedup']:.1f}x, "
-              f"cache hit rate {vec['cache_hit_rate']:.0%}")
+        line = (f"{point['gpus']:5d} GPUs / {point['jobs']:4d} jobs: "
+                f"round {vec['round_latency_median'] * 1e3:8.1f} ms")
+        if "scalar" in point:
+            line += (f" (scalar "
+                     f"{point['scalar']['round_latency_median'] * 1e3:8.1f}"
+                     f" ms), goodput_eval speedup "
+                     f"{point['goodput_eval_speedup']:.1f}x,")
+        line += f" cache hit rate {vec['cache_hit_rate']:.0%}"
+        print(line)
+        for solver, column in point.get("backends", {}).items():
+            gap = column.get("optimality_gap_first")
+            gap_text = f", gap {gap:+.2%}" if gap is not None else ""
+            print(f"        {solver:10s} round "
+                  f"{column['round_latency_median'] * 1e3:8.1f} ms, solve "
+                  f"{column['phase_totals']['solve'] * 1e3:8.1f} ms total"
+                  f"{gap_text}")
     print(f"wrote {args.out}")
 
     if args.check_baseline is not None:

@@ -16,7 +16,8 @@ from repro.jobs.job import Job
 from repro.metrics.fairness import fairness_metrics
 from repro.metrics.jct import gpu_hours_by_model, percentile, summarize
 from repro.metrics.utilization import average_utilization
-from repro.obs.audit import event_counts, migration_flows
+from repro.obs.audit import (allocation_persistence, event_counts,
+                             migration_flows)
 from repro.obs.diff import RunDiff
 from repro.obs.export import run_diff_markdown
 from repro.obs.ledger import GoodputLedger, queue_wait_by_job
@@ -104,6 +105,12 @@ def decision_digest_section(result: SimulationResult) -> str:
         parts.append(_markdown_table([
             {"from": src, "to": dst, "migrations": count}
             for (src, dst), count in sorted(flows.items())]))
+    persistence = allocation_persistence(result.rounds)
+    if persistence is not None:
+        parts.append(f"Allocation persistence: {100 * persistence:.1f}% of "
+                     "job-allocation pairs carried unchanged into the next "
+                     "round (the fraction the solver warm-start/reuse tier "
+                     "can exploit).\n")
     medians = ledger.convergence_medians(num_windows=2)
     if len(medians) == 2:
         early, late = medians

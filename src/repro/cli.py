@@ -575,7 +575,7 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lam", type=float, default=1.1,
                         help="Sia allocation incentive lambda")
     parser.add_argument("--solver", default="milp",
-                        choices=["milp", "exact", "greedy"])
+                        choices=list(forklib.SOLVER_BACKENDS))
     parser.add_argument("--gavel-policy", default="max_sum_throughput",
                         choices=list(GavelScheduler.POLICIES))
     parser.add_argument("--out", help="write results/trace JSON here")

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node, power_of_two_decomposition
+from repro.core import ilp as ilp_backends
 from repro.core.policy import SiaPolicyParams
 from repro.core.resilience import ResilienceConfig, ResilientScheduler
 from repro.schedulers.base import Scheduler
@@ -40,7 +41,9 @@ ADAPTIVE_SCHEDULERS = ("sia", "pollux")
 RIGID_SCHEDULERS = ("gavel", "shockwave", "themis", "fifo", "srtf")
 
 #: ILP backends :func:`rebind_solver` accepts (SiaPolicyParams.solver).
-SOLVER_BACKENDS = ("milp", "exact", "greedy")
+#: Aliases :data:`repro.core.ilp.BACKENDS` so the replay CLI's
+#: ``--solver-backend`` choices can never drift from the solver registry.
+SOLVER_BACKENDS = ilp_backends.BACKENDS
 
 
 def make_scheduler(name: str, *, round_duration: float = 60.0,

@@ -6,21 +6,41 @@ allocated job, subject to per-GPU-type capacity.  Equation (2)'s penalty
 ``lambda * (1 - ||A_i||_1)`` is, up to a constant, an extra ``lambda`` of
 utility on every feasible pair, which is how we encode it.
 
-Three interchangeable backends:
+Interchangeable backends (:data:`BACKENDS`):
 
-* ``milp``   — scipy's HiGHS mixed-integer solver (the default; stands in
-  for the paper's CVXPY/GLPK_MI).
-* ``greedy`` — utility-density greedy rounding (ablation baseline; fast but
-  not optimal).
-* ``exact``  — pure-Python branch-and-bound (reference implementation used
-  by tests to certify MILP optimality on small instances, and fallback if
-  scipy is unavailable).
+* ``milp``       — scipy's HiGHS mixed-integer solver (the default; stands
+  in for the paper's CVXPY/GLPK_MI).
+* ``lp_round``   — HiGHS LP relaxation + deterministic rounding (Gavel's
+  trick: the relaxation is near-integral for this constraint shape, so
+  rounding its support by goodput-per-GPU and repairing capacity greedily
+  lands within a small optimality gap at a fraction of the MILP cost).
+* ``decomposed`` — partition by GPU type (capacity rows never couple
+  types), sub-partition oversized types by job cohort, solve partitions
+  independently, stitch with a greedy repair pass over leftover capacity.
+* ``tiered``     — pick one of the above by problem size (feasible-pair
+  count): ``milp`` up to :data:`TIER_LP_VARS`, then ``lp_round`` up to
+  :data:`TIER_DECOMPOSE_VARS`, then ``decomposed``.
+* ``greedy``     — utility-density greedy rounding (ablation baseline and
+  last-resort fallback; fast but not optimal).
+* ``exact``      — pure-Python branch-and-bound (reference implementation
+  used by tests to certify MILP optimality on small instances, and
+  fallback if scipy is unavailable).
+
+Warm starting: callers may pass last round's assignment (rows/cols already
+mapped onto *this* problem's indices) as ``warm_start``.  scipy's ``milp``
+exposes no incumbent API, so the MILP cannot consume it directly; instead
+the warm start powers (a) the *reuse check* — when ``reuse_tolerance`` is
+set and the previous assignment is still feasible and within that tolerance
+of the fresh LP bound, the solve is skipped entirely — and (b) rounding
+stability in ``lp_round``/``decomposed``, where warm pairs win ties so
+allocations do not churn between equivalent optima.
 """
 
 from __future__ import annotations
 
 import math
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +53,32 @@ try:  # scipy is an install dependency, but keep the pure-Python path alive.
     _HAVE_SCIPY = True
 except ImportError:  # pragma: no cover - exercised only without scipy
     _HAVE_SCIPY = False
+
+#: every backend :func:`solve_assignment` accepts, in quality order.
+#: ``repro.core.fork`` re-exports this tuple so the replay CLI stays in
+#: sync; add backends here, nowhere else.
+BACKENDS = ("milp", "lp_round", "decomposed", "tiered", "greedy", "exact")
+
+#: ``tiered`` thresholds, in feasible (job, config) pairs: up to
+#: TIER_LP_VARS the exact MILP is affordable; past it the LP relaxation +
+#: rounding takes over; past TIER_DECOMPOSE_VARS even one LP is worth
+#: splitting by GPU type.
+TIER_LP_VARS = 4096
+TIER_DECOMPOSE_VARS = 32768
+
+#: cohort split threshold: a per-GPU-type partition whose feasible-pair
+#: count exceeds this is further split into job cohorts with proportional
+#: capacity shares (the stitch pass re-pools whatever a cohort strands).
+DECOMPOSE_MAX_PARTITION_VARS = 16384
+
+#: solve per-GPU-type partitions on a thread pool.  Off by default: HiGHS
+#: solves release the GIL, but partition problems are usually small enough
+#: that pool overhead wins; the 4k-GPU bench flips this to measure both.
+DECOMPOSE_PARALLEL = False
+
+#: LP-support epsilon: rounding considers pairs the relaxation weighted
+#: above this before falling back to the full feasible set.
+_LP_EPS = 1e-9
 
 
 @dataclass
@@ -72,6 +118,11 @@ class AssignmentProblem:
     def n_configs(self) -> int:
         return self.utilities.shape[1]
 
+    @property
+    def n_feasible_pairs(self) -> int:
+        """Variable count of the (MI)LP — the tier-selection size measure."""
+        return int(np.count_nonzero(~np.isnan(self.utilities)))
+
     def feasible_pairs(self) -> list[tuple[int, int]]:
         rows, cols = np.where(~np.isnan(self.utilities))
         return list(zip(rows.tolist(), cols.tolist()))
@@ -84,6 +135,19 @@ class AssignmentSolution:
     assignment: dict[int, int]
     objective: float
     solve_time: float
+    #: concrete backend that produced the solution ('' for hand-built
+    #: instances; 'reuse' marks a skipped solve serving the warm start).
+    backend: str = ""
+    #: LP-relaxation optimum, when a relaxation was solved on the way
+    #: (lp_round, reuse check) — the certificate the optimality gap and
+    #: the reuse tolerance are measured against.
+    lp_bound: float | None = None
+    #: the solve was skipped: the warm start passed the reuse check.
+    reused: bool = False
+    #: a warm start was threaded into the backend that produced this.
+    warm_started: bool = False
+    #: partitions solved when the backend decomposed the problem.
+    partitions: int = 0
 
     def gpus_used(self, problem: AssignmentProblem) -> dict[str, int]:
         used: dict[str, int] = {}
@@ -93,32 +157,80 @@ class AssignmentSolution:
         return used
 
 
+def select_backend(problem: AssignmentProblem) -> str:
+    """Resolve the ``tiered`` backend for one instance by variable count."""
+    n_vars = problem.n_feasible_pairs
+    if n_vars > TIER_DECOMPOSE_VARS:
+        return "decomposed"
+    if n_vars > TIER_LP_VARS:
+        return "lp_round"
+    return "milp"
+
+
 def solve_assignment(problem: AssignmentProblem, backend: str = "milp",
                      time_limit: float | None = None,
-                     tracer: Tracer | None = None) -> AssignmentSolution:
+                     tracer: Tracer | None = None,
+                     warm_start: dict[int, int] | None = None,
+                     reuse_tolerance: float | None = None,
+                     ) -> AssignmentSolution:
     """Solve one assignment instance with the chosen backend.
 
-    ``time_limit`` (seconds) is forwarded to the MILP backend as a solver
+    ``time_limit`` (seconds) is forwarded to the HiGHS backends as a solver
     time budget; a timed-out solve returns the best incumbent found, or
     raises if none exists.  Other backends ignore it.  ``tracer`` records
-    an ``ilp_solve`` span around the backend call.
+    an ``ilp_solve`` span around the backend call (annotated with the
+    resolved backend when ``backend='tiered'``).
+
+    ``warm_start`` maps job row -> config column of a previous assignment
+    already translated onto this problem's indices; infeasible entries are
+    dropped silently (jobs finish, configs change).  When
+    ``reuse_tolerance`` is also given, a still-feasible warm start whose
+    objective is within ``reuse_tolerance`` (relative) of the fresh LP
+    bound is returned directly with ``reused=True`` — no solve happens.
     """
     if tracer is None:
         tracer = NULL_TRACER
     with tracer.span("ilp_solve", backend=backend, jobs=problem.n_jobs,
-                     configs=problem.n_configs):
+                     configs=problem.n_configs) as span:
         start = time.perf_counter()
-        if backend == "milp":
+        resolved = backend
+        if backend == "tiered":
+            resolved = select_backend(problem)
+            span.annotate(resolved=resolved)
+        warm = _clean_warm_start(problem, warm_start)
+        if warm is not None and reuse_tolerance is not None \
+                and resolved not in ("exact",) and _HAVE_SCIPY:
+            with tracer.span("reuse_check", pairs=len(warm)):
+                solution = _try_reuse(problem, warm, reuse_tolerance,
+                                      time_limit)
+            if solution is not None:
+                solution.solve_time = time.perf_counter() - start
+                _validate(problem, solution)
+                return solution
+        if resolved == "milp":
             if _HAVE_SCIPY:
                 solution = _solve_milp(problem, time_limit=time_limit)
             else:  # pragma: no cover
                 solution = _solve_exact(problem)
-        elif backend == "greedy":
+        elif resolved == "lp_round":
+            if _HAVE_SCIPY:
+                solution = _solve_lp_round(problem, time_limit=time_limit,
+                                           warm_start=warm)
+            else:  # pragma: no cover
+                solution = _solve_greedy(problem)
+        elif resolved == "decomposed":
+            solution = _solve_decomposed(problem, time_limit=time_limit,
+                                         tracer=tracer, warm_start=warm)
+        elif resolved == "greedy":
             solution = _solve_greedy(problem)
-        elif backend == "exact":
+        elif resolved == "exact":
             solution = _solve_exact(problem)
         else:
-            raise ValueError(f"unknown backend {backend!r}")
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"choose from {BACKENDS}")
+        solution.backend = resolved
+        solution.warm_started = warm is not None \
+            and resolved in ("lp_round", "decomposed")
         solution.solve_time = time.perf_counter() - start
         _validate(problem, solution)
     return solution
@@ -136,19 +248,108 @@ def _validate(problem: AssignmentProblem, solution: AssignmentSolution) -> None:
             raise RuntimeError(f"solver dropped forced assignment for job {row}")
 
 
-# -- MILP backend (HiGHS via scipy) -----------------------------------------
+# -- warm start / reuse check -------------------------------------------------
 
-def _solve_milp(problem: AssignmentProblem,
-                time_limit: float | None = None) -> AssignmentSolution:
+def _clean_warm_start(problem: AssignmentProblem,
+                      warm_start: dict[int, int] | None,
+                      ) -> dict[int, int] | None:
+    """Restrict a warm start to pairs feasible in *this* problem.
+
+    Out-of-range rows/cols and nan pairs are dropped (jobs finished, the
+    config set changed); forced pairs always override the warm choice for
+    their row.  Returns None when nothing survives.
+    """
+    if not warm_start:
+        return None
+    util = problem.utilities
+    n_jobs, n_configs = util.shape
+    warm: dict[int, int] = {}
+    for row, col in warm_start.items():
+        if not (0 <= row < n_jobs and 0 <= col < n_configs):
+            continue
+        if math.isnan(util[row, col]):
+            continue
+        warm[row] = col
+    warm.update(problem.forced)
+    return warm or None
+
+
+def _warm_objective(problem: AssignmentProblem,
+                    warm: dict[int, int]) -> float | None:
+    """Objective of a warm assignment, or None if it is not reusable.
+
+    Non-forced pairs with non-positive utility are dropped (a fresh solve
+    would never pick them); the rest must fit the capacities.
+    """
+    kept: dict[int, int] = {}
+    for row, col in warm.items():
+        if row in problem.forced or problem.utilities[row, col] > 0:
+            kept[row] = col
+    for row, col in problem.forced.items():
+        if kept.get(row) != col:
+            return None
+    used: dict[str, int] = {}
+    for _, col in kept.items():
+        t = problem.config_types[col]
+        used[t] = used.get(t, 0) + int(problem.config_gpus[col])
+    for gpu_type, count in used.items():
+        if count > problem.capacities.get(gpu_type, 0):
+            return None
+    warm.clear()
+    warm.update(kept)
+    return float(sum(problem.utilities[i, j] for i, j in kept.items()))
+
+
+def _try_reuse(problem: AssignmentProblem, warm: dict[int, int],
+               tolerance: float, time_limit: float | None,
+               ) -> AssignmentSolution | None:
+    """The reuse check: previous assignment still feasible *and* within
+    ``tolerance`` (relative) of the fresh LP bound -> skip the solve."""
+    objective = _warm_objective(problem, warm)
+    if objective is None:
+        return None
+    try:
+        bound, _, _, _ = _solve_lp_relaxation(problem, time_limit=time_limit)
+    except RuntimeError:
+        return None
+    if bound is None:
+        return None
+    if objective >= bound - tolerance * max(1.0, abs(bound)):
+        return AssignmentSolution(dict(warm), objective, 0.0,
+                                  backend="reuse", lp_bound=bound,
+                                  reused=True, warm_started=True)
+    return None
+
+
+# -- HiGHS backends (MILP and LP relaxation via scipy) ------------------------
+
+@dataclass
+class _PairSystem:
+    """Sparse constraint system over the feasible (job, config) pairs."""
+
+    pair_jobs: np.ndarray
+    pair_cols: np.ndarray
+    cost: np.ndarray
+    constraints: "LinearConstraint"
+    lb: np.ndarray
+    ub: np.ndarray
+
+    @property
+    def n_vars(self) -> int:
+        return int(self.pair_jobs.size)
+
+
+def _assemble(problem: AssignmentProblem) -> _PairSystem | None:
     """Sparse constraint assembly: one variable per feasible (job, config)
     pair; each constraint row touches only its own pairs, so the matrix has
     exactly ``2 * n_vars`` potential nonzeros regardless of problem size
-    (the old dense assembly allocated ``n_rows * n_vars`` zeros)."""
+    (the old dense assembly allocated ``n_rows * n_vars`` zeros).  Returns
+    None when no pair is feasible."""
     util = problem.utilities
     pair_jobs, pair_cols = np.nonzero(~np.isnan(util))  # row-major order
     n_vars = int(pair_jobs.size)
     if n_vars == 0:
-        return AssignmentSolution({}, 0.0, 0.0)
+        return None
     cost = -util[pair_jobs, pair_cols]
 
     # (a) each job picks at most one configuration.  ``np.unique`` returns
@@ -192,27 +393,87 @@ def _solve_milp(problem: AssignmentProblem,
         for row_job, col in problem.forced.items():
             lb[pair_index[(row_job, col)]] = 1.0
 
-    constraints = LinearConstraint(a_matrix, -np.inf, uppers)
+    return _PairSystem(pair_jobs=pair_jobs, pair_cols=pair_cols, cost=cost,
+                       constraints=LinearConstraint(a_matrix, -np.inf, uppers),
+                       lb=lb, ub=ub)
+
+
+def _highs_solve(problem: AssignmentProblem, *, integral: bool,
+                 time_limit: float | None,
+                 ) -> tuple[np.ndarray, _PairSystem] | None:
+    """One HiGHS solve (MILP when ``integral``, else the LP relaxation);
+    returns ``(x, system)`` or None for an empty instance."""
+    system = _assemble(problem)
+    if system is None:
+        return None
+    integrality = np.ones(system.n_vars) if integral \
+        else np.zeros(system.n_vars)
     options = {"time_limit": time_limit} if time_limit is not None else None
-    result = milp(c=cost, constraints=constraints,
-                  integrality=np.ones(n_vars),
-                  bounds=Bounds(lb, ub), options=options)
+    result = milp(c=system.cost, constraints=system.constraints,
+                  integrality=integrality,
+                  bounds=Bounds(system.lb, system.ub), options=options)
     # status 0 = optimal; 1 = iteration/time limit reached, in which case
     # HiGHS may still hand back a feasible incumbent worth using.
     if result.status not in (0, 1) or result.x is None:
-        raise RuntimeError(f"MILP failed: {result.message}")
+        raise RuntimeError(f"{'MILP' if integral else 'LP'} failed: "
+                           f"{result.message}")
+    return np.asarray(result.x, dtype=float), system
+
+
+def _solve_milp(problem: AssignmentProblem,
+                time_limit: float | None = None) -> AssignmentSolution:
+    solved = _highs_solve(problem, integral=True, time_limit=time_limit)
+    if solved is None:
+        return AssignmentSolution({}, 0.0, 0.0)
+    x, system = solved
     assignment: dict[int, int] = {}
-    for idx in np.flatnonzero(result.x > 0.5):
-        assignment[int(pair_jobs[idx])] = int(pair_cols[idx])
+    for idx in np.flatnonzero(x > 0.5):
+        assignment[int(system.pair_jobs[idx])] = int(system.pair_cols[idx])
     objective = float(sum(problem.utilities[i, j]
                           for i, j in assignment.items()))
     return AssignmentSolution(assignment, objective, 0.0)
 
 
-# -- greedy backend ----------------------------------------------------------
+def _solve_lp_relaxation(problem: AssignmentProblem,
+                         time_limit: float | None = None,
+                         ) -> tuple[float | None, np.ndarray | None,
+                                    np.ndarray | None, np.ndarray | None]:
+    """LP relaxation of the instance: ``(bound, x, pair_jobs, pair_cols)``.
 
-def _solve_greedy(problem: AssignmentProblem) -> AssignmentSolution:
-    """Assign pairs in order of utility per GPU, honouring forced pairs."""
+    ``bound`` is the relaxation optimum — an upper bound on any integral
+    objective — or None for an empty instance.  Kept as a standalone entry
+    point so the reuse check and tests can price a bound without rounding.
+    """
+    solved = _highs_solve(problem, integral=False, time_limit=time_limit)
+    if solved is None:
+        return None, None, None, None
+    x, system = solved
+    bound = float(-system.cost @ x)
+    return bound, x, system.pair_jobs, system.pair_cols
+
+
+# -- LP relaxation + deterministic rounding backend ---------------------------
+
+def _solve_lp_round(problem: AssignmentProblem,
+                    time_limit: float | None = None,
+                    warm_start: dict[int, int] | None = None,
+                    ) -> AssignmentSolution:
+    """Solve the LP relaxation, then round deterministically.
+
+    The relaxation of this constraint shape (one row per job, one capacity
+    row per GPU type) is integral except where jobs tie over scarce
+    capacity, so most of ``x`` lands on {0, 1} already.  Rounding walks the
+    LP support by utility-per-GPU (warm pairs win ties, then larger LP
+    weight), taking a pair whenever the job is free and capacity remains —
+    capacity violations are repaired by construction.  A final fill pass
+    over the full feasible set catches jobs the LP zeroed out but cheap
+    leftover capacity can still serve.
+    """
+    bound, x, pair_jobs, pair_cols = _solve_lp_relaxation(
+        problem, time_limit=time_limit)
+    if bound is None:
+        return AssignmentSolution({}, 0.0, 0.0)
+
     remaining = dict(problem.capacities)
     assignment: dict[int, int] = {}
 
@@ -225,20 +486,231 @@ def _solve_greedy(problem: AssignmentProblem) -> AssignmentSolution:
         assignment[i] = j
         return True
 
-    for i, j in problem.forced.items():
+    for i, j in sorted(problem.forced.items()):
         if not try_assign(i, j):
             raise RuntimeError(f"cannot satisfy forced assignment ({i}, {j})")
 
-    pairs = [(i, j) for i, j in problem.feasible_pairs()
-             if i not in assignment]
-    pairs.sort(key=lambda ij: (
-        -problem.utilities[ij] / max(1, problem.config_gpus[ij[1]]),
-        problem.config_gpus[ij[1]],
-    ))
-    for i, j in pairs:
-        if i in assignment or problem.utilities[i, j] <= 0:
+    warm = warm_start or {}
+    util = problem.utilities
+    gpus = problem.config_gpus
+
+    support = np.flatnonzero(x > _LP_EPS)
+    candidates = []
+    for idx in support.tolist():
+        i, j = int(pair_jobs[idx]), int(pair_cols[idx])
+        if i in assignment or util[i, j] <= 0:
             continue
-        try_assign(i, j)
+        candidates.append((
+            -util[i, j] / max(1, int(gpus[j])),  # goodput per GPU, desc
+            0 if warm.get(i) == j else 1,        # sticky: warm pairs first
+            -float(x[idx]),                      # then larger LP weight
+            int(gpus[j]), i, j,
+        ))
+    candidates.sort()
+    for _, _, _, _, i, j in candidates:
+        if i not in assignment:
+            try_assign(i, j)
+
+    # Fill pass: jobs the LP support left out, over the leftover capacity.
+    _greedy_fill(problem, assignment, remaining, warm)
+
+    objective = float(sum(util[i, j] for i, j in assignment.items()))
+    return AssignmentSolution(assignment, objective, 0.0, lp_bound=bound)
+
+
+def _greedy_fill(problem: AssignmentProblem, assignment: dict[int, int],
+                 remaining: dict[str, int],
+                 warm: dict[int, int] | None = None) -> None:
+    """Assign still-free jobs' positive-utility pairs into leftover
+    capacity, highest utility-per-GPU first (ties: warm pair, fewer GPUs,
+    then job id / config id — fully deterministic).  Shared by the
+    rounding, decomposition-stitch, and greedy backends; mutates
+    ``assignment``/``remaining`` in place."""
+    warm = warm or {}
+    util = problem.utilities
+    gpus = problem.config_gpus
+    pairs = []
+    for i, j in problem.feasible_pairs():
+        if i in assignment or util[i, j] <= 0:
+            continue
+        pairs.append((
+            -util[i, j] / max(1, int(gpus[j])),
+            0 if warm.get(i) == j else 1,
+            int(gpus[j]), i, j,
+        ))
+    pairs.sort()
+    for _, _, _, i, j in pairs:
+        if i in assignment:
+            continue
+        gpu_type = problem.config_types[j]
+        need = int(gpus[j])
+        if remaining.get(gpu_type, 0) >= need:
+            remaining[gpu_type] -= need
+            assignment[i] = j
+
+
+# -- decomposition backend ----------------------------------------------------
+
+def _home_types(problem: AssignmentProblem) -> dict[int, str]:
+    """Each free job's partition: the GPU type of its best feasible pair
+    (deterministic — ``nanargmax`` takes the first maximum in column
+    order).  Jobs with no feasible pair are left out."""
+    homes: dict[int, str] = {}
+    util = problem.utilities
+    feasible_rows = np.flatnonzero(np.any(~np.isnan(util), axis=1))
+    for i in feasible_rows.tolist():
+        if i in problem.forced:
+            continue
+        best = int(np.nanargmax(util[i]))
+        homes[i] = problem.config_types[best]
+    return homes
+
+
+def _cohort_shares(capacity: int, cohorts: int) -> list[int]:
+    """Split a type's capacity across job cohorts, remainder to the first."""
+    base, extra = divmod(capacity, cohorts)
+    return [base + (1 if c < extra else 0) for c in range(cohorts)]
+
+
+def _solve_decomposed(problem: AssignmentProblem,
+                      time_limit: float | None = None,
+                      tracer: Tracer | None = None,
+                      warm_start: dict[int, int] | None = None,
+                      inner_backend: str | None = None,
+                      parallel: bool | None = None,
+                      ) -> AssignmentSolution:
+    """Partition by GPU type (and job cohort), solve, stitch.
+
+    Capacity constraints never couple GPU types — jobs do, because a job's
+    feasible set can span types.  Each free job therefore joins the
+    partition of its *best* feasible pair; partitions are independent
+    instances (type-t columns, the type's leftover capacity) solved with
+    ``inner_backend`` (auto: ``milp`` for small partitions, ``lp_round``
+    past :data:`TIER_LP_VARS`).  Oversized partitions split into job
+    cohorts with proportional capacity shares.  The stitch pass pools
+    whatever capacity partitions strand and greedily serves the jobs they
+    could not — including jobs whose best type filled up but whose
+    second-best has room.  Forced pairs are pre-assigned globally so no
+    partition can strand one.
+    """
+    if tracer is None:
+        tracer = NULL_TRACER
+    if parallel is None:
+        parallel = DECOMPOSE_PARALLEL
+    util = problem.utilities
+    remaining = dict(problem.capacities)
+    assignment: dict[int, int] = {}
+    for i, j in sorted(problem.forced.items()):
+        gpu_type = problem.config_types[j]
+        need = int(problem.config_gpus[j])
+        if remaining.get(gpu_type, 0) < need:
+            raise RuntimeError(f"cannot satisfy forced assignment ({i}, {j})")
+        remaining[gpu_type] -= need
+        assignment[i] = j
+
+    homes = _home_types(problem)
+    type_cols: dict[str, list[int]] = {}
+    for j, t in enumerate(problem.config_types):
+        type_cols.setdefault(t, []).append(j)
+
+    # Build the partition worklist: (gpu_type, cohort_index, rows, share).
+    warm = warm_start or {}
+    worklist: list[tuple[str, int, list[int], int]] = []
+    for gpu_type in problem.capacities:
+        rows = sorted(i for i, home in homes.items() if home == gpu_type)
+        if not rows or gpu_type not in type_cols:
+            continue
+        cols = type_cols[gpu_type]
+        n_vars = int(np.count_nonzero(
+            ~np.isnan(util[np.ix_(rows, cols)])))
+        cohorts = max(1, -(-n_vars // DECOMPOSE_MAX_PARTITION_VARS))
+        cohorts = min(cohorts, len(rows))
+        shares = _cohort_shares(remaining.get(gpu_type, 0), cohorts)
+        chunk = -(-len(rows) // cohorts)
+        for c in range(cohorts):
+            cohort_rows = rows[c * chunk:(c + 1) * chunk]
+            if cohort_rows:
+                worklist.append((gpu_type, c, cohort_rows, shares[c]))
+
+    def solve_partition(entry: tuple[str, int, list[int], int],
+                        ) -> tuple[list[int], list[int], dict[int, int]]:
+        gpu_type, cohort, rows, share = entry
+        cols = type_cols[gpu_type]
+        sub_util = util[np.ix_(rows, cols)].copy()
+        sub = AssignmentProblem(
+            utilities=sub_util,
+            config_gpus=problem.config_gpus[cols],
+            config_types=[gpu_type] * len(cols),
+            capacities={gpu_type: share},
+        )
+        backend = inner_backend
+        if backend is None:
+            backend = "milp" if sub.n_feasible_pairs <= TIER_LP_VARS \
+                else "lp_round"
+        col_pos = {j: k for k, j in enumerate(cols)}
+        sub_warm = {}
+        for local, i in enumerate(rows):
+            w = warm.get(i)
+            if w is not None and w in col_pos \
+                    and not math.isnan(sub_util[local, col_pos[w]]):
+                sub_warm[local] = col_pos[w]
+        with tracer.span("solve_partition", gpu_type=gpu_type, cohort=cohort,
+                         jobs=len(rows), vars=sub.n_feasible_pairs,
+                         backend=backend):
+            sub_solution = solve_assignment(sub, backend=backend,
+                                            time_limit=time_limit,
+                                            tracer=tracer,
+                                            warm_start=sub_warm or None)
+        return rows, cols, sub_solution.assignment
+
+    if parallel and len(worklist) > 1:
+        # Results are merged in worklist order, so the stitch is
+        # deterministic regardless of completion order.
+        with ThreadPoolExecutor(max_workers=min(8, len(worklist))) as pool:
+            results = list(pool.map(solve_partition, worklist))
+    else:
+        results = [solve_partition(entry) for entry in worklist]
+
+    for rows, cols, sub_assignment in results:
+        for local_row, local_col in sorted(sub_assignment.items()):
+            i, j = rows[local_row], cols[local_col]
+            gpu_type = problem.config_types[j]
+            need = int(problem.config_gpus[j])
+            if i in assignment or remaining.get(gpu_type, 0) < need:
+                continue  # stitched away below, on pooled capacity
+            remaining[gpu_type] -= need
+            assignment[i] = j
+
+    # Stitch: jobs no partition served, over the pooled leftover capacity
+    # (cohort strands and cross-type spillover both end up here).
+    _greedy_fill(problem, assignment, remaining, warm)
+
+    objective = float(sum(util[i, j] for i, j in assignment.items()))
+    return AssignmentSolution(assignment, objective, 0.0,
+                              partitions=len(worklist))
+
+
+# -- greedy backend ----------------------------------------------------------
+
+def _solve_greedy(problem: AssignmentProblem) -> AssignmentSolution:
+    """Assign pairs in order of utility per GPU, honouring forced pairs.
+
+    Ties break by GPU count, then job id, then config id — never by dict
+    or insertion order — so the fallback tier is reproducible across
+    partition stitching and seed changes.
+    """
+    remaining = dict(problem.capacities)
+    assignment: dict[int, int] = {}
+
+    for i, j in sorted(problem.forced.items()):
+        gpu_type = problem.config_types[j]
+        need = int(problem.config_gpus[j])
+        if remaining.get(gpu_type, 0) < need:
+            raise RuntimeError(f"cannot satisfy forced assignment ({i}, {j})")
+        remaining[gpu_type] -= need
+        assignment[i] = j
+
+    _greedy_fill(problem, assignment, remaining)
     objective = float(sum(problem.utilities[i, j]
                           for i, j in assignment.items()))
     return AssignmentSolution(assignment, objective, 0.0)

@@ -190,3 +190,28 @@ def config_index(configs: list[Configuration],
         return configs.index(config)
     except ValueError:
         return None
+
+
+def warm_start_pairs(job_ids: list[str], previous: dict,
+                     config_pos: dict[Configuration, int],
+                     ) -> dict[int, int]:
+    """Translate last round's allocations into this round's ILP warm start.
+
+    Row/column indices are positional and shift every round as jobs arrive
+    and finish and the configuration set changes, so an
+    ``AssignmentSolution`` cannot be reused directly; the stable join keys
+    are the job id and the :class:`Configuration` value.  Returns
+    ``{row: col}`` for each job in ``job_ids`` whose previous allocation's
+    configuration still exists in this round's set — feasibility against
+    this round's utilities is the solver's problem
+    (:func:`repro.core.ilp._clean_warm_start`).
+    """
+    warm: dict[int, int] = {}
+    for i, job_id in enumerate(job_ids):
+        alloc = previous.get(job_id)
+        if alloc is None:
+            continue
+        col = config_pos.get(alloc.configuration())
+        if col is not None:
+            warm[i] = col
+    return warm

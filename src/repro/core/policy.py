@@ -43,8 +43,20 @@ class SiaPolicyParams:
     allocation_incentive: float = 1.1
     #: per-round scale-up cap (Section 3.1; "at most 2x per round").
     scale_up_factor: int = 2
-    #: ILP backend: 'milp', 'greedy' or 'exact'.
+    #: ILP backend — any of :data:`repro.core.ilp.BACKENDS` ('milp',
+    #: 'lp_round', 'decomposed', 'tiered', 'greedy', 'exact').
     solver: str = "milp"
+    #: thread last round's allocations into the solver as a warm start:
+    #: the LP-rounding/decomposed tiers use it to keep allocations sticky
+    #: across equivalent optima, and it feeds the reuse check below.  The
+    #: MILP backend ignores it (scipy exposes no incumbent API), so the
+    #: default is decision-neutral.
+    warm_start: bool = True
+    #: when set, skip the solve entirely on rounds where the previous
+    #: assignment is still feasible and within this relative tolerance of
+    #: the fresh LP bound (the "reuse check"; ~2 LP solves worth of work
+    #: saved per skipped MILP).  None disables the check.
+    reuse_tolerance: float | None = None
     #: disable the restart factor (ablation).
     use_restart_factor: bool = True
     #: evaluate each job's utility row through the estimator's batched
@@ -161,7 +173,11 @@ class SiaPolicy:
     # -- main entry point ------------------------------------------------------
 
     def decide(self, views: "list[JobView]", cluster: Cluster,
-               now: float) -> PolicyDecision:
+               now: float, previous: dict | None = None) -> PolicyDecision:
+        """One round's decision.  ``previous`` (job_id ->
+        :class:`~repro.core.types.Allocation`, as the engine hands the
+        scheduler) seeds the solver warm start and reuse check when
+        :attr:`SiaPolicyParams.warm_start` is on."""
         if not views:
             return PolicyDecision()
         tracer = self.tracer
@@ -232,15 +248,28 @@ class SiaPolicy:
                 capacities=cluster.capacities(),
                 forced=forced,
             )
+            warm = None
+            if self.params.warm_start and previous:
+                warm = gm.warm_start_pairs([v.job_id for v in views],
+                                           previous, config_pos) or None
             if self.resilient_solver is not None:
                 self.resilient_solver.tracer = tracer
                 self.resilient_solver.metrics = self.metrics
                 solution, backend, degraded = self.resilient_solver.solve(
-                    problem, primary=self.params.solver)
+                    problem, primary=self.params.solver, warm_start=warm,
+                    reuse_tolerance=self.params.reuse_tolerance)
             else:
                 solution: AssignmentSolution = solve_assignment(
-                    problem, backend=self.params.solver, tracer=tracer)
-                backend, degraded = self.params.solver, False
+                    problem, backend=self.params.solver, tracer=tracer,
+                    warm_start=warm,
+                    reuse_tolerance=self.params.reuse_tolerance)
+                backend = solution.backend or self.params.solver
+                degraded = False
+            if self.metrics is not None:
+                if solution.reused:
+                    self.metrics.counter("solver.reuse_skips").inc()
+                elif solution.warm_started:
+                    self.metrics.counter("solver.warm_start_hits").inc()
 
         assignments = {
             views[i].job_id: configs[j]

@@ -7,9 +7,13 @@ degradation layers:
 
 * :class:`ResilientSolver` wraps :func:`repro.core.ilp.solve_assignment`
   with a per-round wall-clock budget, a fallback chain
-  (``milp -> greedy -> carry``), and a circuit breaker that skips the MILP
-  for a cooldown after repeated timeouts/failures.  ``SiaPolicyParams``
-  accepts a :class:`ResilienceConfig` to route its ILP through one.
+  (``primary -> lp_round -> greedy -> carry`` by default, configurable via
+  :attr:`ResilienceConfig.fallback_chain`), and a circuit breaker that
+  skips the primary for a cooldown after repeated timeouts/failures.
+  ``SiaPolicyParams`` accepts a :class:`ResilienceConfig` to route its ILP
+  through one.  The LP-rounding tier sits ahead of greedy because it
+  shares the MILP's constraint system at a fraction of the cost — a
+  budget-blown MILP usually still affords one LP solve.
 * :class:`ResilientScheduler` wraps any scheduler: exceptions and invalid
   :class:`~repro.schedulers.base.RoundPlan`\\ s are caught and replaced by
   :func:`carry_forward_plan` — the previous round's still-feasible
@@ -59,6 +63,12 @@ class ResilienceConfig:
     retry_budget_factor: float = 2.0
     #: deterministic jitter amplitude (fraction) on the relaxed budget.
     retry_jitter: float = 0.25
+    #: backends tried, in order, after the primary fails — the fast tiers
+    #: between the primary solver and carry-forward.  Entries equal to the
+    #: primary are skipped; every non-final tier runs under the round
+    #: budget, the final tier runs unbudgeted (it must produce *something*).
+    #: ``("greedy",)`` restores the pre-tier chain.
+    fallback_chain: tuple[str, ...] = ("lp_round", "greedy")
 
     def __post_init__(self) -> None:
         if self.solve_budget_s <= 0:
@@ -71,13 +81,19 @@ class ResilienceConfig:
             raise ValueError("retry_budget_factor must be >= 1")
         if self.retry_jitter < 0:
             raise ValueError("retry_jitter must be non-negative")
+        self.fallback_chain = tuple(self.fallback_chain)
+        for backend in self.fallback_chain:
+            if backend not in ilp.BACKENDS:
+                raise ValueError(f"unknown fallback backend {backend!r}; "
+                                 f"choose from {ilp.BACKENDS}")
 
 
 class ResilientSolver:
     """Budgeted, circuit-broken wrapper around ``solve_assignment``.
 
     :meth:`solve` never raises on solver trouble: it degrades through the
-    chain primary -> greedy and returns ``(solution, backend, degraded)``.
+    chain primary -> ``config.fallback_chain`` (default
+    ``lp_round -> greedy``) and returns ``(solution, backend, degraded)``.
     Only when *every* backend fails does it raise
     :class:`SolverExhaustedError`, signalling the caller to carry forward.
     """
@@ -130,6 +146,8 @@ class ResilientSolver:
 
     def _attempt(self, problem: AssignmentProblem, backend: str,
                  budget: float, *, retry: bool = False,
+                 warm_start: dict[int, int] | None = None,
+                 reuse_tolerance: float | None = None,
                  ) -> tuple[AssignmentSolution | None, str]:
         """One budgeted attempt; returns (solution-or-None, outcome)."""
         attrs = {"backend": backend}
@@ -140,7 +158,9 @@ class ResilientSolver:
                 start = time.perf_counter()
                 solution = ilp.solve_assignment(problem, backend=backend,
                                                 time_limit=budget,
-                                                tracer=self.tracer)
+                                                tracer=self.tracer,
+                                                warm_start=warm_start,
+                                                reuse_tolerance=reuse_tolerance)
                 elapsed = time.perf_counter() - start
                 if elapsed > budget:
                     attempt.annotate(outcome="timeout")
@@ -155,19 +175,30 @@ class ResilientSolver:
                 return None, "error"
 
     def solve(self, problem: AssignmentProblem, primary: str = "milp",
+              warm_start: dict[int, int] | None = None,
+              reuse_tolerance: float | None = None,
               ) -> tuple[AssignmentSolution, str, bool]:
-        """Solve with fallback; returns (solution, backend_used, degraded)."""
+        """Solve with fallback; returns (solution, backend_used, degraded).
+
+        ``warm_start``/``reuse_tolerance`` are forwarded to every backend
+        attempt (see :func:`repro.core.ilp.solve_assignment`); the returned
+        backend name is the solution's concrete backend when it differs
+        from the tier tried (``tiered`` resolution, ``reuse`` skips).
+        """
         budget = self.config.solve_budget_s
         if self._breaker_open_rounds > 0:
             self._breaker_open_rounds -= 1
             self.tracer.instant("breaker_skip", backend=primary,
                                 rounds_left=self._breaker_open_rounds)
         else:
-            solution, outcome = self._attempt(problem, primary, budget)
+            solution, outcome = self._attempt(
+                problem, primary, budget,
+                warm_start=warm_start, reuse_tolerance=reuse_tolerance)
             if outcome == "ok":
                 self._consecutive_failures = 0
-                self._count(primary)
-                return solution, primary, False
+                name = solution.backend or primary
+                self._count(name)
+                return solution, name, False
             if self.config.retry_primary and primary != "greedy":
                 # Many MILP timeouts are borderline; one retry with a
                 # slightly longer leash often beats dropping straight to
@@ -184,11 +215,13 @@ class ResilientSolver:
                 if self.metrics is not None:
                     self.metrics.counter("resilience.primary_retries").inc()
                 retry_solution, retry_outcome = self._attempt(
-                    problem, primary, relaxed, retry=True)
+                    problem, primary, relaxed, retry=True,
+                    warm_start=warm_start, reuse_tolerance=reuse_tolerance)
                 if retry_outcome == "ok":
                     self._consecutive_failures = 0
-                    self._count(primary)
-                    return retry_solution, primary, True
+                    name = retry_solution.backend or primary
+                    self._count(name)
+                    return retry_solution, name, True
                 if retry_outcome == "timeout":
                     solution, outcome = retry_solution, retry_outcome
             if outcome == "timeout":
@@ -199,16 +232,26 @@ class ResilientSolver:
                 self._count(primary)
                 return solution, primary, True
             self._record_failure()
-        if primary != "greedy":
-            solution, outcome = self._attempt(problem, "greedy",
-                                              float("inf"))
-            if outcome == "ok":
-                self._count("greedy")
-                return solution, "greedy", True
+        # Fallback tiers: each non-final tier runs under the round budget
+        # (an overrun there still yields a usable rounding), the final tier
+        # runs unbudgeted.  No reuse check on fallbacks — the primary
+        # already priced it if asked.
+        chain = [b for b in self.config.fallback_chain if b != primary]
+        for pos, backend in enumerate(chain):
+            fallback_budget = float("inf") if pos == len(chain) - 1 \
+                else budget
+            solution, outcome = self._attempt(problem, backend,
+                                              fallback_budget,
+                                              warm_start=warm_start)
+            if solution is not None and outcome in ("ok", "timeout"):
+                name = solution.backend or backend
+                self._count(name)
+                return solution, name, True
         self._count("exhausted")
         raise SolverExhaustedError(
-            f"all solver backends failed (primary={primary!r}); "
-            "caller should carry forward the previous round")
+            f"all solver backends failed (primary={primary!r}, "
+            f"chain={chain!r}); caller should carry forward the previous "
+            "round")
 
 
 def carry_forward_plan(previous: dict[str, Allocation], cluster: Cluster,

@@ -193,6 +193,37 @@ def migration_flows(events: Iterable[AllocationEvent],
     return flows
 
 
+def allocation_persistence(rounds: Sequence[Any]) -> float | None:
+    """Fraction of job -> allocation pairs unchanged round-to-round.
+
+    Over every consecutive round pair, a job allocated in the earlier
+    round *persists* when the later round gives it the identical
+    ``(gpu_type, num_gpus)`` allocation — the same notion of identity the
+    ILP warm start uses (its join key is the configuration, not the
+    nodes), so this is exactly the fraction of last round's solution the
+    solver can reuse.  Jobs that finished or were preempted count as
+    churn; jobs admitted later enter the denominator once allocated.
+    Returns None when fewer than two rounds carry allocations (nothing to
+    compare — e.g. results saved with ``include_rounds=False``).
+
+    Pollux observes (and Sia's round structure inherits) that this ratio
+    is high in steady state, which is what makes the warm-start/reuse
+    solver tier pay off; ``repro.analysis.report`` surfaces it per run.
+    """
+    kept = 0
+    total = 0
+    for earlier, later in zip(rounds, rounds[1:]):
+        for job_id, alloc in earlier.allocations.items():
+            total += 1
+            after = later.allocations.get(job_id)
+            # tuple() both sides: JSON round trips turn tuples into lists.
+            if after is not None and tuple(after) == tuple(alloc):
+                kept += 1
+    if total == 0:
+        return None
+    return kept / total
+
+
 class AuditTrail:
     """All allocation events of one run, with per-job and aggregate views."""
 

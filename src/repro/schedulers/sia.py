@@ -38,7 +38,10 @@ class SiaScheduler(Scheduler):
         with self.planning(views) as timer:
             if self._placer is None or self._placer.cluster is not cluster:
                 self._placer = Placer(cluster)
-            decision = self.policy.decide(views, cluster, now)
+            # ``previous`` doubles as the solver warm start: the policy
+            # re-keys it onto this round's (row, col) indices.
+            decision = self.policy.decide(views, cluster, now,
+                                          previous=previous)
             pinned = {v.job_id for v in views
                       if not v.job.preemptible and v.is_running}
             with timer.phase("placement"):

@@ -37,17 +37,43 @@ def problem(n_jobs=3):
 
 
 class TestResilientSolver:
-    def test_milp_failure_falls_back_to_greedy(self, monkeypatch):
+    def test_milp_failure_falls_back_to_lp_round(self, monkeypatch):
         def boom(problem, time_limit=None):
             raise RuntimeError("injected MILP failure")
         monkeypatch.setattr(ilp, "_solve_milp", boom)
         solver = ResilientSolver()
         solution, backend, degraded = solver.solve(problem())
-        assert backend == "greedy"
+        assert backend == "lp_round"
         assert degraded
-        # The greedy result still respects capacities (validated here too).
+        # The fallback result still respects capacities (validated too).
         used = solution.gpus_used(problem())
         assert all(n <= problem().capacities[t] for t, n in used.items())
+
+    def test_milp_and_lp_round_failure_falls_back_to_greedy(
+            self, monkeypatch):
+        def boom(problem, time_limit=None, **kwargs):
+            raise RuntimeError("injected failure")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_lp_round", boom)
+        solver = ResilientSolver()
+        solution, backend, degraded = solver.solve(problem())
+        assert backend == "greedy"
+        assert degraded
+        assert solution.assignment
+
+    def test_legacy_chain_skips_lp_round(self, monkeypatch):
+        """fallback_chain=('greedy',) restores the pre-tier behavior."""
+        def boom(problem, time_limit=None):
+            raise RuntimeError("injected MILP failure")
+        monkeypatch.setattr(ilp, "_solve_milp", boom)
+        solver = ResilientSolver(
+            ResilienceConfig(fallback_chain=("greedy",)))
+        _, backend, degraded = solver.solve(problem())
+        assert backend == "greedy" and degraded
+
+    def test_unknown_fallback_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown fallback"):
+            ResilienceConfig(fallback_chain=("nope",))
 
     def test_breaker_opens_then_closes(self, monkeypatch):
         attempts = {"n": 0}
@@ -66,7 +92,7 @@ class TestResilientSolver:
         assert solver.breaker_open
         for _ in range(3):         # cooldown: MILP skipped entirely
             _, backend, degraded = solver.solve(p)
-            assert backend == "greedy" and degraded
+            assert backend == "lp_round" and degraded
         assert attempts["n"] == 2
         assert not solver.breaker_open
         solver.solve(p)            # breaker closed: MILP retried
@@ -90,7 +116,7 @@ class TestResilientSolver:
         solver.solve(p)  # second overrun trips the breaker
         assert solver.breaker_open
         _, backend, degraded = solver.solve(p)
-        assert backend == "greedy" and degraded
+        assert backend == "lp_round" and degraded
 
     def test_success_resets_failure_count(self, monkeypatch):
         real = ilp._solve_milp
@@ -112,6 +138,7 @@ class TestResilientSolver:
         def boom(*args, **kwargs):
             raise RuntimeError("injected")
         monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_lp_round", boom)
         monkeypatch.setattr(ilp, "_solve_greedy", boom)
         solver = ResilientSolver()
         with pytest.raises(SolverExhaustedError):
@@ -133,6 +160,7 @@ class TestSolverExhaustedChain:
         def boom(*args, **kwargs):
             raise RuntimeError("injected")
         monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_lp_round", boom)
         monkeypatch.setattr(ilp, "_solve_greedy", boom)
         solver = ResilientSolver()
         solver.metrics = MetricsRegistry()
@@ -145,16 +173,18 @@ class TestSolverExhaustedChain:
         def boom(*args, **kwargs):
             raise RuntimeError("injected")
         monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_lp_round", boom)
         monkeypatch.setattr(ilp, "_solve_greedy", boom)
         with pytest.raises(SolverExhaustedError, match="primary='milp'"):
             ResilientSolver().solve(problem())
 
     def test_greedy_exception_still_counts_primary_failure(self, monkeypatch):
-        """A round where both backends die must advance the breaker, so a
+        """A round where every backend dies must advance the breaker, so a
         persistently broken solver eventually stops being retried."""
         def boom(*args, **kwargs):
             raise RuntimeError("injected")
         monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_lp_round", boom)
         monkeypatch.setattr(ilp, "_solve_greedy", boom)
         solver = ResilientSolver(ResilienceConfig(breaker_threshold=2,
                                                   breaker_cooldown_rounds=2))
@@ -178,7 +208,8 @@ class TestSolverExhaustedChain:
             raise RuntimeError("injected greedy failure")
         monkeypatch.setattr(ilp, "_solve_greedy", counting_greedy)
         solver = ResilientSolver(ResilienceConfig(breaker_threshold=1,
-                                                  breaker_cooldown_rounds=2))
+                                                  breaker_cooldown_rounds=2,
+                                                  fallback_chain=("greedy",)))
         p = problem()
         with pytest.raises(SolverExhaustedError):
             solver.solve(p, primary="greedy")  # failure trips the breaker
@@ -202,7 +233,8 @@ class TestSolverExhaustedChain:
             return real(*args, **kwargs)
         monkeypatch.setattr(ilp, "_solve_greedy", flaky_greedy)
         solver = ResilientSolver(ResilienceConfig(breaker_threshold=1,
-                                                  breaker_cooldown_rounds=1))
+                                                  breaker_cooldown_rounds=1,
+                                                  fallback_chain=("greedy",)))
         p = problem()
         with pytest.raises(SolverExhaustedError):
             solver.solve(p, primary="greedy")  # trips the breaker
@@ -214,11 +246,12 @@ class TestSolverExhaustedChain:
 
     def test_exhausted_policy_is_rescued_by_scheduler_guard(
             self, monkeypatch, hetero_cluster):
-        """End to end: both backends dead -> SiaPolicy raises
+        """End to end: every backend dead -> SiaPolicy raises
         SolverExhaustedError -> ResilientScheduler carries forward."""
         def boom(*args, **kwargs):
             raise RuntimeError("injected")
         monkeypatch.setattr(ilp, "_solve_milp", boom)
+        monkeypatch.setattr(ilp, "_solve_lp_round", boom)
         monkeypatch.setattr(ilp, "_solve_greedy", boom)
         params = SiaPolicyParams(resilience=ResilienceConfig())
         sched = ResilientScheduler(SiaScheduler(params))
@@ -250,9 +283,9 @@ class TestSolverExhaustedChain:
         result = simulate(hetero_cluster, sched, jobs, max_hours=100)
         counts = result.resilience_counts()
         assert counts.get("resilience.backend.milp", 0) > 0
-        assert counts.get("resilience.backend.greedy", 0) > 0
+        assert counts.get("resilience.backend.lp_round", 0) > 0
         # the same counters appear in the final per-round snapshot
-        assert result.rounds[-1].metrics.get("resilience.backend.greedy",
+        assert result.rounds[-1].metrics.get("resilience.backend.lp_round",
                                              0) > 0
         # ... and survive a save/load round trip
         path = tmp_path / "res.json"
@@ -305,7 +338,8 @@ class TestPrimaryRetry:
             calls["n"] += 1
             raise RuntimeError("injected")
         monkeypatch.setattr(ilp, "_solve_greedy", boom)
-        solver = ResilientSolver()
+        solver = ResilientSolver(
+            ResilienceConfig(fallback_chain=("greedy",)))
         with pytest.raises(SolverExhaustedError):
             solver.solve(problem(), primary="greedy")
         assert calls["n"] == 1  # no second greedy attempt
@@ -317,10 +351,10 @@ class TestPrimaryRetry:
         monkeypatch.setattr(ilp, "_solve_milp", boom)
         solver = ResilientSolver(ResilienceConfig(breaker_threshold=3))
         p = problem()
-        solver.solve(p)  # error + retry error + greedy rescue
+        solver.solve(p)  # error + retry error + lp_round rescue
         assert solver._consecutive_failures == 1
         assert solver.attempt_outcomes["milp.error"] == 2
-        assert solver.attempt_outcomes["greedy.ok"] == 1
+        assert solver.attempt_outcomes["lp_round.ok"] == 1
 
     def test_attempt_outcomes_persist_through_io(self, monkeypatch,
                                                  hetero_cluster, tmp_path):
@@ -496,7 +530,7 @@ class TestChaos:
         assert result.degraded_rounds > 0
         assert result.total_fault_events > 0
         backends = result.backend_counts()
-        assert backends.get("greedy", 0) > 0  # the fallback chain engaged
+        assert backends.get("lp_round", 0) > 0  # the fallback chain engaged
         loaded_summary = result.fault_counts()
         assert loaded_summary  # structured fault telemetry survives
 
